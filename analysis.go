@@ -1,0 +1,87 @@
+package finser
+
+import (
+	"errors"
+
+	"finser/internal/geom"
+	"finser/internal/lut"
+	"finser/internal/rng"
+	"finser/internal/transport"
+)
+
+// YieldPoint is one point of the single-fin electron-yield curve (the
+// paper's Fig. 4).
+type YieldPoint struct {
+	EnergyMeV float64
+	MeanPairs float64
+	StdPairs  float64
+}
+
+// FinYieldCurve runs the device-level Monte Carlo (the paper's Geant4
+// stage) for one fin of the technology: for each energy it samples iters
+// flux-uniform secants through the fin and records the electron–hole yield
+// statistics.
+func FinYieldCurve(tech Technology, sp Species, energiesMeV []float64, iters int, seed uint64) ([]YieldPoint, error) {
+	if len(energiesMeV) == 0 {
+		return nil, errors.New("finser: FinYieldCurve needs energies")
+	}
+	if iters <= 0 {
+		return nil, errors.New("finser: FinYieldCurve needs positive iters")
+	}
+	fin := geom.BoxAt(geom.V(0, 0, 0),
+		geom.V(tech.FinWidthNm, tech.GateLengthNm, tech.FinHeightNm))
+	cfg := transport.DefaultConfig()
+	src := rng.New(seed)
+	out := make([]YieldPoint, 0, len(energiesMeV))
+	for _, e := range energiesMeV {
+		ys := transport.FinYield(cfg, sp, e, fin, iters, src)
+		out = append(out, YieldPoint{EnergyMeV: e, MeanPairs: ys.MeanPairs, StdPairs: ys.StdPairs})
+	}
+	return out, nil
+}
+
+// POFCurve estimates the array POF at each energy (the paper's Fig. 8
+// series): the probability of at least one bit flip given a particle of
+// that energy striking the array footprint.
+func POFCurve(e *Engine, sp Species, energiesMeV []float64, itersPerEnergy int, seed uint64) ([]POFPoint, error) {
+	if len(energiesMeV) == 0 {
+		return nil, errors.New("finser: POFCurve needs energies")
+	}
+	if itersPerEnergy <= 0 {
+		return nil, errors.New("finser: POFCurve needs positive iterations")
+	}
+	src := rng.New(seed)
+	out := make([]POFPoint, 0, len(energiesMeV))
+	for _, en := range energiesMeV {
+		out = append(out, e.POFAtEnergy(sp, en, itersPerEnergy, src.Uint64()))
+	}
+	return out, nil
+}
+
+// SpectrumPoint is one point of a differential flux curve (Fig. 2).
+type SpectrumPoint struct {
+	EnergyMeV float64
+	// Flux is the differential flux in particles/(cm²·s·MeV).
+	Flux float64
+}
+
+// SpectrumCurve samples a spectrum's differential flux at n log-spaced
+// energies across its domain.
+func SpectrumCurve(s Spectrum, n int) ([]SpectrumPoint, error) {
+	if n < 2 {
+		return nil, errors.New("finser: SpectrumCurve needs n >= 2")
+	}
+	lo, hi := s.Domain()
+	out := make([]SpectrumPoint, 0, n)
+	for _, e := range logSpace(lo, hi, n) {
+		out = append(out, SpectrumPoint{EnergyMeV: e, Flux: s.DifferentialFlux(e)})
+	}
+	return out, nil
+}
+
+// LogSpace re-exports geometric grids for sweep construction.
+func LogSpace(lo, hi float64, n int) []float64 { return logSpace(lo, hi, n) }
+
+func logSpace(lo, hi float64, n int) []float64 {
+	return lut.LogSpace(lo, hi, n)
+}

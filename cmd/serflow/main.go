@@ -1,0 +1,153 @@
+// Command serflow runs the end-to-end cross-layer SER flow: cell
+// characterization → array Monte-Carlo → FIT integration, for one or more
+// supply voltages, printing a per-voltage report and optionally a machine-
+// readable JSON dump.
+//
+// Usage:
+//
+//	serflow -vdd 0.7,0.8,0.9,1.0,1.1 -samples 200 -iters 50000 -pv
+//	serflow -vdd 0.8 -rows 16 -cols 16 -json results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"finser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serflow: ")
+
+	var (
+		vddList = flag.String("vdd", "0.8", "comma-separated supply voltages (V)")
+		rows    = flag.Int("rows", 9, "array rows")
+		cols    = flag.Int("cols", 9, "array columns")
+		pv      = flag.Bool("pv", true, "model threshold-voltage process variation")
+		samples = flag.Int("samples", 200, "process-variation Monte-Carlo samples")
+		iters   = flag.Int("iters", 30000, "array-MC particles per energy bin")
+		pattern = flag.String("pattern", "zeros", "stored data pattern: zeros|ones|checkerboard")
+		neut    = flag.Bool("neutron", false, "also estimate neutron-induced (indirect) SER")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		jsonOut = flag.String("json", "", "write results as JSON to this file")
+	)
+	flag.Parse()
+
+	vdds, err := parseVdds(*vddList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := finser.FlowConfig{
+		Rows:             *rows,
+		Cols:             *cols,
+		ProcessVariation: *pv,
+		Samples:          *samples,
+		ItersPerBin:      *iters,
+		Pattern:          pat,
+		Seed:             *seed,
+	}
+
+	fmt.Printf("cross-layer SER flow: %dx%d SRAM array, 14nm SOI FinFET, PV=%v (%d samples), %d particles/bin\n\n",
+		*rows, *cols, *pv, *samples, *iters)
+	fmt.Printf("%6s  %14s %12s %12s %9s  %14s %12s %12s %9s\n",
+		"Vdd", "alphaFIT", "alphaSEU", "alphaMBU", "MBU/SEU%", "protonFIT", "protonSEU", "protonMBU", "MBU/SEU%")
+
+	var results []*finser.FlowResult
+	for _, vdd := range vdds {
+		c := cfg
+		c.Vdd = vdd
+		start := time.Now()
+		res, err := finser.RunFlow(c)
+		if err != nil {
+			log.Fatalf("vdd %g: %v", vdd, err)
+		}
+		results = append(results, res)
+		fmt.Printf("%6.2f  %14.5g %12.5g %12.5g %9.3f  %14.5g %12.5g %12.5g %9.3f   (%s)\n",
+			vdd,
+			res.Alpha.TotalFIT, res.Alpha.SEUFIT, res.Alpha.MBUFIT, res.Alpha.MBUToSEU,
+			res.Proton.TotalFIT, res.Proton.SEUFIT, res.Proton.MBUFIT, res.Proton.MBUToSEU,
+			time.Since(start).Round(time.Millisecond))
+
+		if *neut {
+			nFIT, err := neutronFIT(c, res)
+			if err != nil {
+				log.Fatalf("vdd %g neutron: %v", vdd, err)
+			}
+			fmt.Printf("%6s  neutron: total=%.5g SEU=%.5g MBU=%.5g MBU/SEU=%.3f%%\n",
+				"", nFIT.TotalFIT, nFIT.SEUFIT, nFIT.MBUFIT, nFIT.MBUToSEU)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+}
+
+// neutronFIT runs the indirect-ionization extension with the flow's
+// already-built characterization.
+func neutronFIT(cfg finser.FlowConfig, res *finser.FlowResult) (finser.FITResult, error) {
+	eng, err := finser.NewEngine(finser.EngineConfig{
+		Tech: finser.Default14nmSOI(), Rows: cfg.Rows, Cols: cfg.Cols,
+		Char: res.Char, Transport: finser.DefaultTransport(), Pattern: cfg.Pattern,
+	})
+	if err != nil {
+		return finser.FITResult{}, err
+	}
+	spec, err := finser.NewNeutronSpectrum(1)
+	if err != nil {
+		return finser.FITResult{}, err
+	}
+	bins, err := finser.Bins(spec, 2, 1000, 10)
+	if err != nil {
+		return finser.FITResult{}, err
+	}
+	return eng.NeutronFIT(spec, finser.NewNeutronReactions(), bins, cfg.ItersPerBin, cfg.Seed+3)
+}
+
+func parseVdds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad vdd %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePattern(s string) (finser.DataPattern, error) {
+	switch s {
+	case "zeros":
+		return finser.PatternZeros, nil
+	case "ones":
+		return finser.PatternOnes, nil
+	case "checkerboard":
+		return finser.PatternCheckerboard, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", s)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"finser"
+)
+
+func TestParseVdds(t *testing.T) {
+	got, err := parseVdds("0.7, 0.8,1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.7, 0.8, 1.1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseVdds("0.7,abc"); err == nil {
+		t.Error("bad vdd accepted")
+	}
+	if _, err := parseVdds(""); err == nil {
+		t.Error("empty vdd list accepted")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]finser.DataPattern{
+		"zeros":        finser.PatternZeros,
+		"ones":         finser.PatternOnes,
+		"checkerboard": finser.PatternCheckerboard,
+	}
+	for s, want := range cases {
+		got, err := parsePattern(s)
+		if err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+		if got != want {
+			t.Errorf("%s → %v, want %v", s, got, want)
+		}
+	}
+	if _, err := parsePattern("stripes"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}

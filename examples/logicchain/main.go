@@ -1,0 +1,73 @@
+// Logicchain: single-event transients in combinational logic. A strike on
+// a logic gate matters only if the transient survives the walk to a latch;
+// each stage's electrical inertia attenuates sub-critical pulses
+// (electrical masking). This example measures the per-stage attenuation
+// and the propagation-threshold charge, and compares the logic path's
+// hardness with the SRAM cell's — the comparison behind the literature's
+// "logic is catching up with SRAM" concern at low supply.
+//
+//	go run ./examples/logicchain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finser/internal/finfet"
+	"finser/internal/logic"
+	"finser/internal/sram"
+)
+
+func main() {
+	tech := finfet.Default14nmSOI()
+
+	fmt.Println("single-event transients in a FinFET inverter chain")
+	fmt.Println()
+	fmt.Printf("%6s %22s %22s %12s\n", "Vdd", "SET threshold (fC)", "SRAM Qcrit I1 (fC)", "logic/SRAM")
+	for _, vdd := range []float64{0.7, 0.8, 0.9, 1.0, 1.1} {
+		ch, err := logic.NewChain(tech, vdd, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		thr, err := ch.PropagationThreshold(1e-18, 5e-14)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cell, err := sram.NewCell(tech, vdd, sram.VthShifts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		qc, err := cell.CriticalCharge(sram.AxisI1, 1e-18, 5e-14, sram.ShapeRect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.2f %22.4f %22.4f %12.2f\n", vdd, thr*1e15, qc*1e15, thr/qc)
+	}
+
+	// Per-stage attenuation of a sub-threshold transient.
+	ch, err := logic.NewChain(tech, 0.8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	thr, err := ch.PropagationThreshold(1e-18, 5e-14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ch.Inject(thr * 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nelectrical masking of a 0.6×-threshold SET (peak swing per stage, V):")
+	for i, s := range res.Swing {
+		bar := ""
+		for j := 0; j < int(s*60); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  stage %d: %6.3f %s\n", i, s, bar)
+	}
+
+	fmt.Println("\nnote the regenerative cliff: once a SET clears roughly half the")
+	fmt.Println("supply at a gate output, the next stage amplifies instead of")
+	fmt.Println("attenuating — below it, a few stages of electrical masking absorb")
+	fmt.Println("the pulse entirely.")
+}

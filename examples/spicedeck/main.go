@@ -1,0 +1,73 @@
+// Spicedeck: bring-your-own-cell characterization. The library's circuit
+// level accepts standard SPICE-style netlists, so a designer can swap in a
+// custom bitcell (different fin counts, asymmetric sizing, intentional
+// weakening) and run the same critical-charge analysis against it. Here we
+// generate the canonical 6T deck, print it, then derive a 2-fin pull-down
+// variant and compare the two cells' critical charges per sensitive axis.
+//
+//	go run ./examples/spicedeck
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finser/internal/deck"
+	"finser/internal/finfet"
+	"finser/internal/sram"
+)
+
+func main() {
+	tech := finfet.Default14nmSOI()
+	const vdd = 0.8
+
+	base := deck.SixTCellDeck(tech, vdd)
+	fmt.Println("canonical 6T cell deck:")
+	fmt.Println("-----------------------")
+	if err := base.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Variant A: double-fin pull-downs (a common read-stability upsize).
+	fins2 := deck.SixTCellDeck(tech, vdd)
+	for i, card := range fins2.Cards {
+		if card.Name == "MPDL" || card.Name == "MPDR" {
+			fins2.Cards[i].Params["nfins"] = 2
+		}
+	}
+	// Variant B: half the storage-node capacitance (tighter layout).
+	halfCap := deck.SixTCellDeck(tech, vdd)
+	for i, card := range halfCap.Cards {
+		if card.Name == "CQ" || card.Name == "CQB" {
+			halfCap.Cards[i].Value /= 2
+		}
+	}
+
+	cells := []struct {
+		name string
+		d    *deck.Deck
+	}{
+		{"canonical", base},
+		{"2-fin pull-downs", fins2},
+		{"half node cap", halfCap},
+	}
+	fmt.Println("\ncritical charge per variant (fC, axis I1):")
+	fmt.Printf("%20s %14s\n", "variant", "Qcrit (fC)")
+	for _, v := range cells {
+		cell, err := sram.NewCellFromDeck(v.d, tech, vdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qc, err := cell.CriticalCharge(sram.AxisI1, 1e-18, 5e-14, sram.ShapeRect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%20s %14.4f\n", v.name, qc*1e15)
+	}
+
+	fmt.Println("\nthe comparison quantifies a key SOI insight: with femtosecond strike")
+	fmt.Println("pulses the flip is charge-on-capacitance dominated, so transistor")
+	fmt.Println("upsizing barely moves Qcrit while node capacitance moves it almost")
+	fmt.Println("linearly — all explored by editing a deck, not the flow.")
+}

@@ -1,0 +1,377 @@
+// Package finser is a cross-layer soft-error-rate (SER) analysis library
+// for SRAM arrays in SOI FinFET technology, reproducing the device-to-
+// circuit flow of Kiamehr, Osiecki, Tahoori and Nassif (DAC 2014):
+//
+//	particle strike → 3-D fin-level Monte-Carlo transport (e–h pairs)
+//	              → transient drift-current pulse (τ = L²/µeVds)
+//	              → SPICE-style 6T-cell POF characterization with
+//	                threshold-voltage process variation
+//	              → 3-D memory-array layout Monte Carlo
+//	              → SEU/MBU split and FIT-rate integration over the
+//	                sea-level proton and package-alpha spectra.
+//
+// The package is a façade over the substrate packages in internal/: it
+// re-exports the types a downstream user needs (technology cards, cell
+// characterization, the array engine, spectra) and provides the one-call
+// orchestration (RunFlow, RunVddSweep) used by the examples, the command-
+// line tools, and the paper-figure benchmarks.
+package finser
+
+import (
+	"errors"
+	"fmt"
+
+	"finser/internal/core"
+	"finser/internal/ecc"
+	"finser/internal/finfet"
+	"finser/internal/lifetime"
+	"finser/internal/neutron"
+	"finser/internal/phys"
+	"finser/internal/scrub"
+	"finser/internal/spectra"
+	"finser/internal/sram"
+	"finser/internal/transport"
+)
+
+// Re-exported substrate types. Aliases keep the public surface in one
+// import while the implementations stay in focused internal packages.
+type (
+	// Technology is the FinFET technology card (geometry + electrical).
+	Technology = finfet.Technology
+	// Species identifies a particle species.
+	Species = phys.Species
+	// Characterization is a cell POF model at one supply voltage.
+	Characterization = sram.Characterization
+	// CharConfig configures cell POF characterization.
+	CharConfig = sram.CharConfig
+	// GridLUT is the paper-format serialized POF look-up table.
+	GridLUT = sram.GridLUT
+	// POFProvider is any POF model the array engine can consume.
+	POFProvider = sram.POFProvider
+	// Engine is the array-level Monte-Carlo SER engine.
+	Engine = core.Engine
+	// EngineConfig assembles an Engine.
+	EngineConfig = core.Config
+	// FITResult is a spectrum-integrated failure-rate result.
+	FITResult = core.FITResult
+	// POFPoint is an array POF estimate at one energy.
+	POFPoint = core.POFPoint
+	// DataPattern selects the bits stored in the array.
+	DataPattern = core.DataPattern
+	// Incidence selects the angular distribution of incoming particles.
+	Incidence = core.Incidence
+	// Spectrum describes a particle flux environment.
+	Spectrum = spectra.Spectrum
+	// EnergyBin is one slice of a discretized spectrum.
+	EnergyBin = spectra.EnergyBin
+	// TransportConfig controls device-level physics fidelity.
+	TransportConfig = transport.Config
+	// PulseShape selects the injected current waveform.
+	PulseShape = sram.PulseShape
+	// NeutronReactions is the neutron–silicon reaction model (indirect
+	// ionization extension; the paper's §7 future work).
+	NeutronReactions = neutron.Reactions
+	// NeutronPoint is the weighted array POF at one neutron energy.
+	NeutronPoint = core.NeutronPoint
+	// MBUReport summarizes upset multiplicity and geometry at one energy.
+	MBUReport = core.MBUReport
+	// AdaptiveSpec controls the run-until-precision Monte-Carlo stopping
+	// rule.
+	AdaptiveSpec = core.AdaptiveSpec
+	// AdaptivePOF is a POF estimate with convergence metadata.
+	AdaptivePOF = core.AdaptivePOF
+	// PairKey is the row/column separation of an upset cell pair.
+	PairKey = core.PairKey
+	// ECCScheme describes word organization for interleaving analysis.
+	ECCScheme = ecc.Scheme
+	// ECCAnalysis is the outcome of applying a scheme to an MBU report.
+	ECCAnalysis = ecc.Analysis
+	// ScrubConfig models periodic scrubbing of an ECC-protected memory.
+	ScrubConfig = scrub.Config
+	// ScrubPoint is one entry of a scrub-interval sweep.
+	ScrubPoint = scrub.Point
+	// LifetimeConfig drives the event-level memory lifetime simulator.
+	LifetimeConfig = lifetime.Config
+	// LifetimeResult summarizes simulated memory lifetimes.
+	LifetimeResult = lifetime.Result
+)
+
+// SimulateLifetime runs the event-driven scrubbed-memory simulator — the
+// Monte-Carlo validation of the analytic ScrubConfig model.
+func SimulateLifetime(cfg LifetimeConfig, trials int, seed uint64) (LifetimeResult, error) {
+	return lifetime.Simulate(cfg, trials, seed)
+}
+
+// MTTFHours converts a FIT rate to mean time to failure in hours.
+func MTTFHours(fit float64) float64 { return scrub.MTTFHours(fit) }
+
+// Particle species.
+const (
+	Proton = phys.Proton
+	Alpha  = phys.Alpha
+)
+
+// Data patterns.
+const (
+	PatternZeros        = core.PatternZeros
+	PatternOnes         = core.PatternOnes
+	PatternCheckerboard = core.PatternCheckerboard
+)
+
+// Pulse shapes.
+const (
+	ShapeRect      = sram.ShapeRect
+	ShapeTriangle  = sram.ShapeTriangle
+	ShapeDoubleExp = sram.ShapeDoubleExp
+)
+
+// Incidence modes.
+const (
+	IncidenceCosine    = core.IncidenceCosine
+	IncidenceIsotropic = core.IncidenceIsotropic
+)
+
+// Deposit modes (full transport vs the paper's mean-yield LUT shortcut).
+const (
+	DepositTransport = core.DepositTransport
+	DepositLUT       = core.DepositLUT
+)
+
+// Default14nmSOI returns the 14 nm SOI FinFET technology card.
+func Default14nmSOI() Technology { return finfet.Default14nmSOI() }
+
+// DefaultTransport returns the default device-level physics configuration.
+func DefaultTransport() TransportConfig { return transport.DefaultConfig() }
+
+// Characterize runs the circuit-level cell POF characterization.
+func Characterize(cfg CharConfig) (*Characterization, error) {
+	return sram.Characterize(cfg)
+}
+
+// NewEngine builds an array SER engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
+
+// BuildGridLUT samples a characterization onto the paper-format POF grids
+// (serializable; usable directly as the engine's POF provider).
+func BuildGridLUT(ch *Characterization, nFine, nCoarse int, qLo, qHi float64) (*GridLUT, error) {
+	return sram.BuildGridLUT(ch, nFine, nCoarse, qLo, qHi)
+}
+
+// NewAlphaSpectrum builds the package alpha-emission environment for the
+// given emission rate in α/(cm²·h). The paper assumes 0.001.
+func NewAlphaSpectrum(ratePerCm2Hour float64) (Spectrum, error) {
+	return spectra.NewAlphaEmission(ratePerCm2Hour)
+}
+
+// NewProtonSpectrum builds the sea-level proton environment; scale
+// multiplies the nominal flux.
+func NewProtonSpectrum(scale float64) (Spectrum, error) {
+	return spectra.NewProtonSeaLevel(scale)
+}
+
+// NewNeutronSpectrum builds the sea-level neutron environment; scale
+// multiplies the nominal (JEDEC-class) flux.
+func NewNeutronSpectrum(scale float64) (Spectrum, error) {
+	return neutron.NewSeaLevel(scale)
+}
+
+// NewNeutronReactions builds the neutron–silicon reaction model used by
+// Engine.NeutronFIT.
+func NewNeutronReactions() *NeutronReactions { return neutron.NewReactions() }
+
+// AnalyzeECC classifies an MBU report's pair statistics under a word
+// organization, returning the SEC-DED-uncorrectable share.
+func AnalyzeECC(rep MBUReport, s ECCScheme) (ECCAnalysis, error) {
+	return ecc.Analyze(rep, s)
+}
+
+// ECCInterleaveSweep evaluates the uncorrectable share across column-
+// interleaving factors.
+func ECCInterleaveSweep(rep MBUReport, factors []int, sameRowOnly bool) ([]ECCAnalysis, error) {
+	return ecc.InterleaveSweep(rep, factors, sameRowOnly)
+}
+
+// ResidualMBUFIT estimates the post-ECC failure rate contributed by MBUs.
+func ResidualMBUFIT(mbuFIT float64, a ECCAnalysis) float64 {
+	return ecc.ResidualMBUFIT(mbuFIT, a)
+}
+
+// Bins discretizes a spectrum into n log-spaced energy bins over [lo, hi]
+// MeV with per-bin integral fluxes (the Eq. 8 discretization).
+func Bins(s Spectrum, lo, hi float64, n int) ([]EnergyBin, error) {
+	return spectra.Bins(s, lo, hi, n)
+}
+
+// DefaultAlphaRate is the paper's assumed alpha emission rate, α/(cm²·h).
+const DefaultAlphaRate = spectra.DefaultAlphaRate
+
+// AltitudeScale returns the atmospheric-flux multiplier at the given
+// altitude in metres (1 at sea level), for use as a proton/neutron
+// spectrum scale.
+func AltitudeScale(altitudeMeters float64) float64 {
+	return spectra.AltitudeScale(altitudeMeters)
+}
+
+// FlowConfig configures the end-to-end flow at a single supply voltage.
+type FlowConfig struct {
+	// Tech is the technology card; zero value selects Default14nmSOI.
+	Tech Technology
+	// Rows, Cols are the array dimensions; zero selects the paper's 9×9.
+	Rows, Cols int
+	// Vdd is the supply voltage (required).
+	Vdd float64
+	// ProcessVariation toggles the Vth Monte Carlo in characterization.
+	ProcessVariation bool
+	// Samples is the PV sample count (paper: 1000). Zero selects 1000.
+	Samples int
+	// ItersPerBin is the array-MC particle count per energy bin.
+	// Zero selects 50000.
+	ItersPerBin int
+	// AlphaRate is the alpha emission rate in α/(cm²·h); zero selects the
+	// paper's 0.001.
+	AlphaRate float64
+	// ProtonScale multiplies the sea-level proton flux; zero selects 1.
+	ProtonScale float64
+	// AlphaBins/ProtonBins are the energy discretizations; zero selects
+	// 12 and 16.
+	AlphaBins, ProtonBins int
+	// Pattern is the stored data pattern.
+	Pattern DataPattern
+	// Seed makes the whole flow deterministic.
+	Seed uint64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c FlowConfig) withDefaults() (FlowConfig, error) {
+	if c.Vdd <= 0 {
+		return c, errors.New("finser: FlowConfig.Vdd must be positive")
+	}
+	if c.Tech.Name == "" {
+		c.Tech = Default14nmSOI()
+	}
+	if c.Rows == 0 {
+		c.Rows = 9
+	}
+	if c.Cols == 0 {
+		c.Cols = 9
+	}
+	if c.Samples == 0 {
+		c.Samples = 1000
+	}
+	if c.ItersPerBin == 0 {
+		c.ItersPerBin = 50000
+	}
+	if c.AlphaRate == 0 {
+		c.AlphaRate = DefaultAlphaRate
+	}
+	if c.ProtonScale == 0 {
+		c.ProtonScale = 1
+	}
+	if c.AlphaBins == 0 {
+		c.AlphaBins = 12
+	}
+	if c.ProtonBins == 0 {
+		c.ProtonBins = 16
+	}
+	return c, nil
+}
+
+// FlowResult is the outcome of the end-to-end flow at one supply voltage.
+type FlowResult struct {
+	Vdd    float64
+	Alpha  FITResult
+	Proton FITResult
+	// Char is the cell characterization used (reusable across runs).
+	Char *Characterization
+}
+
+// RunFlow executes the complete paper flow at one Vdd: characterize the
+// cell, build the array engine, and integrate FIT rates for both the alpha
+// and proton environments.
+func RunFlow(cfg FlowConfig) (*FlowResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	char, err := Characterize(CharConfig{
+		Tech:             cfg.Tech,
+		Vdd:              cfg.Vdd,
+		Samples:          cfg.Samples,
+		ProcessVariation: cfg.ProcessVariation,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("finser: characterize: %w", err)
+	}
+	return RunFlowWithChar(cfg, char)
+}
+
+// RunFlowWithChar is RunFlow with a pre-built characterization — useful for
+// sweeps that vary only the environment.
+func RunFlowWithChar(cfg FlowConfig, char *Characterization) (*FlowResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(EngineConfig{
+		Tech:      cfg.Tech,
+		Rows:      cfg.Rows,
+		Cols:      cfg.Cols,
+		Char:      char,
+		Transport: DefaultTransport(),
+		Pattern:   cfg.Pattern,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("finser: engine: %w", err)
+	}
+
+	alphaSpec, err := NewAlphaSpectrum(cfg.AlphaRate)
+	if err != nil {
+		return nil, err
+	}
+	protonSpec, err := NewProtonSpectrum(cfg.ProtonScale)
+	if err != nil {
+		return nil, err
+	}
+	alphaBins, err := Bins(alphaSpec, 0.5, 10, cfg.AlphaBins)
+	if err != nil {
+		return nil, err
+	}
+	protonBins, err := Bins(protonSpec, 0.1, 100, cfg.ProtonBins)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FlowResult{Vdd: cfg.Vdd, Char: char}
+	res.Alpha, err = eng.FIT(alphaSpec, alphaBins, cfg.ItersPerBin, cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("finser: alpha FIT: %w", err)
+	}
+	res.Proton, err = eng.FIT(protonSpec, protonBins, cfg.ItersPerBin, cfg.Seed+2)
+	if err != nil {
+		return nil, fmt.Errorf("finser: proton FIT: %w", err)
+	}
+	return res, nil
+}
+
+// RunVddSweep runs the flow across supply voltages (the Figs. 9–11 sweep).
+// Each voltage gets its own cell characterization.
+func RunVddSweep(cfg FlowConfig, vdds []float64) ([]*FlowResult, error) {
+	if len(vdds) == 0 {
+		return nil, errors.New("finser: empty vdd sweep")
+	}
+	out := make([]*FlowResult, 0, len(vdds))
+	for _, v := range vdds {
+		c := cfg
+		c.Vdd = v
+		r, err := RunFlow(c)
+		if err != nil {
+			return nil, fmt.Errorf("finser: vdd %g: %w", v, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package finser
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Small-budget flow shared across tests.
+var (
+	flowOnce sync.Once
+	flowRes  *FlowResult
+	flowErr  error
+)
+
+func smallFlowConfig() FlowConfig {
+	return FlowConfig{
+		Vdd:              0.7,
+		ProcessVariation: true,
+		Samples:          40,
+		ItersPerBin:      4000,
+		AlphaBins:        6,
+		ProtonBins:       8,
+		Seed:             1,
+	}
+}
+
+func sharedFlow(t *testing.T) *FlowResult {
+	t.Helper()
+	flowOnce.Do(func() {
+		flowRes, flowErr = RunFlow(smallFlowConfig())
+	})
+	if flowErr != nil {
+		t.Fatal(flowErr)
+	}
+	return flowRes
+}
+
+func TestFlowConfigValidation(t *testing.T) {
+	if _, err := RunFlow(FlowConfig{}); err == nil {
+		t.Error("zero Vdd accepted")
+	}
+	if _, err := RunVddSweep(FlowConfig{}, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestRunFlowProducesPositiveRates(t *testing.T) {
+	res := sharedFlow(t)
+	if res.Vdd != 0.7 {
+		t.Errorf("vdd = %v", res.Vdd)
+	}
+	if res.Alpha.TotalFIT <= 0 {
+		t.Error("alpha FIT not positive")
+	}
+	if res.Proton.TotalFIT <= 0 {
+		t.Error("proton FIT not positive")
+	}
+	if res.Char == nil {
+		t.Error("characterization not returned")
+	}
+	// Paper claim 2: at 0.7 V, proton SER is comparable to alpha SER —
+	// same order of magnitude.
+	r := res.Proton.TotalFIT / res.Alpha.TotalFIT
+	if r < 0.1 || r > 10 {
+		t.Errorf("proton/alpha FIT at 0.7 V = %v, want same order", r)
+	}
+	// Paper claim 3: alpha MBU/SEU ratio well above proton's.
+	if res.Alpha.MBUToSEU <= res.Proton.MBUToSEU {
+		t.Errorf("alpha MBU/SEU %v%% not above proton %v%%",
+			res.Alpha.MBUToSEU, res.Proton.MBUToSEU)
+	}
+}
+
+func TestRunFlowDeterministic(t *testing.T) {
+	res := sharedFlow(t)
+	again, err := RunFlow(smallFlowConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Alpha.TotalFIT != res.Alpha.TotalFIT || again.Proton.TotalFIT != res.Proton.TotalFIT {
+		t.Error("identical configs gave different FIT rates")
+	}
+}
+
+func TestRunFlowWithCharReuses(t *testing.T) {
+	res := sharedFlow(t)
+	cfg := smallFlowConfig()
+	again, err := RunFlowWithChar(cfg, res.Char)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Alpha.TotalFIT != res.Alpha.TotalFIT {
+		t.Error("reused characterization changed the result")
+	}
+}
+
+func TestVddSweepOrdering(t *testing.T) {
+	// Paper claim 1: SER increases at lower supply voltages.
+	cfg := smallFlowConfig()
+	cfg.Samples = 30
+	cfg.ItersPerBin = 3000
+	results, err := RunVddSweep(cfg, []float64{0.7, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Alpha.TotalFIT <= results[1].Alpha.TotalFIT {
+		t.Errorf("alpha FIT not higher at 0.7 V: %v vs %v",
+			results[0].Alpha.TotalFIT, results[1].Alpha.TotalFIT)
+	}
+	if results[0].Proton.TotalFIT <= results[1].Proton.TotalFIT {
+		t.Errorf("proton FIT not higher at 0.7 V: %v vs %v",
+			results[0].Proton.TotalFIT, results[1].Proton.TotalFIT)
+	}
+	// Paper claim 2 (slope): proton SER falls faster with Vdd than alpha.
+	alphaDrop := results[0].Alpha.TotalFIT / results[1].Alpha.TotalFIT
+	protonDrop := results[0].Proton.TotalFIT / results[1].Proton.TotalFIT
+	if protonDrop <= alphaDrop {
+		t.Errorf("proton Vdd slope (×%v) not steeper than alpha (×%v)",
+			protonDrop, alphaDrop)
+	}
+}
+
+func TestFinYieldCurve(t *testing.T) {
+	tech := Default14nmSOI()
+	energies := []float64{0.5, 1, 2, 5, 10}
+	alpha, err := FinYieldCurve(tech, Alpha, energies, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proton, err := FinYieldCurve(tech, Proton, energies, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range energies {
+		if alpha[i].MeanPairs <= proton[i].MeanPairs {
+			t.Errorf("at %v MeV alpha yield %v <= proton %v",
+				energies[i], alpha[i].MeanPairs, proton[i].MeanPairs)
+		}
+	}
+	// Decreasing with energy above the Bragg peak (Fig. 4 shape).
+	if alpha[0].MeanPairs <= alpha[len(alpha)-1].MeanPairs {
+		t.Error("alpha yield not decreasing with energy")
+	}
+	if _, err := FinYieldCurve(tech, Alpha, nil, 10, 1); err == nil {
+		t.Error("empty energies accepted")
+	}
+	if _, err := FinYieldCurve(tech, Alpha, energies, 0, 1); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
+func TestPOFCurve(t *testing.T) {
+	res := sharedFlow(t)
+	eng, err := NewEngine(EngineConfig{
+		Tech: Default14nmSOI(), Rows: 9, Cols: 9,
+		Char: res.Char, Transport: DefaultTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := POFCurve(eng, Alpha, []float64{1, 10}, 5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Tot <= pts[1].Tot {
+		t.Errorf("POF curve wrong: %+v", pts)
+	}
+	if _, err := POFCurve(eng, Alpha, nil, 10, 1); err == nil {
+		t.Error("empty energies accepted")
+	}
+	if _, err := POFCurve(eng, Alpha, []float64{1}, 0, 1); err == nil {
+		t.Error("zero iters accepted")
+	}
+}
+
+func TestSpectrumCurve(t *testing.T) {
+	s, err := NewAlphaSpectrum(DefaultAlphaRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := SpectrumCurve(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	anyPositive := false
+	for _, p := range pts {
+		if p.Flux < 0 {
+			t.Fatal("negative flux point")
+		}
+		if p.Flux > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Error("all-zero spectrum curve")
+	}
+	if _, err := SpectrumCurve(s, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestLogSpaceExport(t *testing.T) {
+	pts := LogSpace(1, 100, 3)
+	if len(pts) != 3 || pts[0] != 1 || math.Abs(pts[1]-10) > 1e-9 || pts[2] != 100 {
+		t.Errorf("LogSpace = %v", pts)
+	}
+}

@@ -1,0 +1,3 @@
+module finser
+
+go 1.22

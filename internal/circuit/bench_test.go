@@ -1,0 +1,52 @@
+package circuit
+
+import "testing"
+
+// BenchmarkTransientRC times the solver on the canonical RC step response.
+func BenchmarkTransientRC(b *testing.B) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	step := PWL{Times: []float64{0, 1e-12}, Values: []float64{0, 1}}
+	c.AddVSource("v1", in, Ground, step)
+	c.AddResistor("r1", in, out, 1e3)
+	c.AddCapacitor("c1", out, Ground, 1e-12)
+	init, err := c.OperatingPoint(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := TransientSpec{TStop: 5e-9, InitStep: 5e-12, MaxStep: 2e-11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(init, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDenseLU times the linear kernel at SRAM-cell size.
+func BenchmarkDenseLU(b *testing.B) {
+	const n = 12
+	a0 := make([][]float64, n)
+	for i := range a0 {
+		a0[i] = make([]float64, n)
+		for j := range a0[i] {
+			a0[i][j] = 1 / float64(i+j+1)
+		}
+		a0[i][i] += float64(n)
+	}
+	a := make([][]float64, n)
+	rows := make([]float64, n*n)
+	rhs := make([]float64, n)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		for i := range a {
+			a[i] = rows[i*n : (i+1)*n]
+			copy(a[i], a0[i])
+			rhs[i] = float64(i)
+		}
+		if err := denseLU(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

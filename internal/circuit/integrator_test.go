@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// rcError integrates the RC step response with the given method and fixed
+// step and returns the max deviation from the analytic solution.
+func rcError(t *testing.T, method Integrator, step float64) float64 {
+	t.Helper()
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("v1", in, Ground, PWL{Times: []float64{0, 1e-13}, Values: []float64{0, 1}})
+	c.AddResistor("r1", in, out, 1e3)
+	c.AddCapacitor("c1", out, Ground, 1e-12) // τ = 1 ns
+	init, err := c.OperatingPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(init, TransientSpec{
+		TStop:    3e-9,
+		InitStep: step,
+		MaxStep:  step, // fixed step: isolates the method's order
+		Growth:   1.0001,
+		Method:   method,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i, tp := range res.Times {
+		if tp < 2e-13 {
+			continue
+		}
+		want := 1 - math.Exp(-(tp-1e-13)/1e-9)
+		if e := math.Abs(res.Values[i][out] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+func TestTrapezoidalBeatsBackwardEuler(t *testing.T) {
+	const step = 5e-11 // 1/20 of τ
+	be := rcError(t, BackwardEuler, step)
+	tr := rcError(t, Trapezoidal, step)
+	if tr >= be {
+		t.Errorf("trapezoidal error %v not below backward Euler %v", tr, be)
+	}
+	if be/tr < 5 {
+		t.Errorf("expected ≳ order-of-accuracy gap, got BE/trap = %v", be/tr)
+	}
+}
+
+func TestIntegratorOrders(t *testing.T) {
+	// Halving the step should cut BE's error ~2× and trapezoidal's ~4×.
+	for _, tc := range []struct {
+		method Integrator
+		name   string
+		lo, hi float64 // acceptable error-ratio band for step halving
+	}{
+		{BackwardEuler, "BE", 1.6, 2.6},
+		{Trapezoidal, "trap", 3.0, 5.5},
+	} {
+		e1 := rcError(t, tc.method, 8e-11)
+		e2 := rcError(t, tc.method, 4e-11)
+		ratio := e1 / e2
+		if ratio < tc.lo || ratio > tc.hi {
+			t.Errorf("%s: error ratio for step halving = %v, want [%v, %v]",
+				tc.name, ratio, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestTrapezoidalSRAMStrikeAgreement(t *testing.T) {
+	// Both integrators must agree on the flip outcome near (but not at) the
+	// critical charge — the flow's result cannot hinge on the integrator.
+	c := New()
+	n := c.Node("n")
+	c.AddISource("i", Ground, n, RectPulse{T0: 1e-12, Width: 1e-14, Amp: 1e-2})
+	c.AddCapacitor("c", n, Ground, 1e-16)
+	for _, m := range []Integrator{BackwardEuler, Trapezoidal} {
+		res, err := c.Transient(make(Solution, 1), TransientSpec{
+			TStop: 5e-12, InitStep: 1e-15, MaxStep: 1e-13, Method: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1e-2 * 1e-14 / 1e-16
+		if got := res.Final(n); math.Abs(got-want)/want > 0.01 {
+			t.Errorf("method %v: ΔV = %v, want %v", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package circuit
+
+import (
+	"errors"
+	"math"
+)
+
+// denseLU solves A·x = b in place by Gaussian elimination with partial
+// pivoting. A is row-major n×n, overwritten; b is overwritten with x.
+// MNA systems for SRAM cells are ~10 unknowns, so a dense solver is both
+// simpler and faster than any sparse machinery.
+func denseLU(a [][]float64, b []float64) error {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return errors.New("circuit: singular MNA matrix")
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * b[c]
+		}
+		b[r] = s / a[r][r]
+	}
+	return nil
+}

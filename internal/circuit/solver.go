@@ -1,0 +1,283 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Solution is a solved operating point: node voltages and branch currents.
+type Solution []float64
+
+// OperatingPoint computes the DC solution with Newton–Raphson. nodeset
+// provides initial-guess voltages for selected nodes — essential for
+// bistable circuits such as SRAM cells, where it selects which stable state
+// Newton converges to. It may be nil.
+func (c *Circuit) OperatingPoint(nodeset map[Node]float64) (Solution, error) {
+	c.assignBranches()
+	n := c.unknowns()
+	x := make([]float64, n)
+	for node, v := range nodeset {
+		if node != Ground {
+			x[node] = v
+		}
+	}
+	if err := c.newtonSolve(x, x, 0, 0, BackwardEuler); err != nil {
+		return nil, fmt.Errorf("circuit: DC operating point: %w", err)
+	}
+	return x, nil
+}
+
+// Integrator selects the implicit integration method for reactive
+// elements.
+type Integrator int
+
+const (
+	// BackwardEuler is first-order, L-stable, and strongly damped — the
+	// robust default for switching waveforms.
+	BackwardEuler Integrator = iota
+	// Trapezoidal is second-order accurate; preferable when waveform
+	// fidelity matters more than damping (it can ring on discontinuities,
+	// which the breakpoint-aware stepper mitigates).
+	Trapezoidal
+)
+
+// TransientSpec configures a transient analysis.
+type TransientSpec struct {
+	TStop    float64 // end time, s
+	InitStep float64 // first step and post-breakpoint step, s
+	MaxStep  float64 // ceiling for the growing step, s
+	// Growth is the per-step expansion factor (default 1.3).
+	Growth float64
+	// Method selects the integrator (default BackwardEuler).
+	Method Integrator
+	// ExtraBreakpoints are times the stepper must land on exactly, in
+	// addition to breakpoints collected from source waveforms.
+	ExtraBreakpoints []float64
+}
+
+// TransientResult holds the sampled trajectory of a transient analysis.
+type TransientResult struct {
+	Times  []float64
+	Values []Solution // one solution vector per time point
+}
+
+// Final returns the node voltage at the last time point.
+func (r *TransientResult) Final(n Node) float64 {
+	if n == Ground {
+		return 0
+	}
+	return r.Values[len(r.Values)-1][n]
+}
+
+// At returns the node voltage at time t by linear interpolation.
+func (r *TransientResult) At(n Node, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	ts := r.Times
+	if t <= ts[0] {
+		return r.Values[0][n]
+	}
+	if t >= ts[len(ts)-1] {
+		return r.Final(n)
+	}
+	i := sort.SearchFloat64s(ts, t)
+	if ts[i] == t {
+		return r.Values[i][n]
+	}
+	f := (t - ts[i-1]) / (ts[i] - ts[i-1])
+	return r.Values[i-1][n] + f*(r.Values[i][n]-r.Values[i-1][n])
+}
+
+// MaxAbs returns the maximum |V(n)| over the trajectory.
+func (r *TransientResult) MaxAbs(n Node) float64 {
+	if n == Ground {
+		return 0
+	}
+	m := 0.0
+	for _, v := range r.Values {
+		if a := math.Abs(v[n]); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Transient runs a backward-Euler transient analysis from the given initial
+// condition (typically a DC operating point). The stepper grows the step
+// geometrically, lands exactly on waveform breakpoints, and retries with a
+// halved step when Newton fails to converge.
+func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientResult, error) {
+	c.assignBranches()
+	n := c.unknowns()
+	if len(initial) != n {
+		return nil, fmt.Errorf("circuit: initial condition has %d entries, want %d", len(initial), n)
+	}
+	if spec.TStop <= 0 || spec.InitStep <= 0 {
+		return nil, fmt.Errorf("circuit: transient needs positive TStop and InitStep")
+	}
+	if spec.MaxStep <= 0 {
+		spec.MaxStep = spec.TStop / 50
+	}
+	if spec.Growth <= 1 {
+		spec.Growth = 1.3
+	}
+
+	bps := c.collectBreakpoints(spec)
+
+	// Reactive devices carry per-step state (trapezoidal branch currents);
+	// start the analysis from rest.
+	for _, d := range c.devices {
+		if sd, ok := d.(stateful); ok {
+			sd.reset()
+		}
+	}
+
+	res := &TransientResult{}
+	x := append(Solution(nil), initial...)
+	res.Times = append(res.Times, 0)
+	res.Values = append(res.Values, append(Solution(nil), x...))
+
+	t := 0.0
+	dt := spec.InitStep
+	bpIdx := 0
+	for bpIdx < len(bps) && bps[bpIdx] <= 0 {
+		bpIdx++
+	}
+	const minStepFrac = 1e-7
+	for t < spec.TStop {
+		// Land exactly on the next breakpoint; reset the step after it so
+		// sharp pulse edges are resolved.
+		target := t + dt
+		hitBreak := false
+		if bpIdx < len(bps) && target >= bps[bpIdx]-1e-21 {
+			target = bps[bpIdx]
+			hitBreak = true
+		}
+		if target > spec.TStop {
+			target = spec.TStop
+		}
+		step := target - t
+		if step <= 0 {
+			// Degenerate breakpoint at/behind current time.
+			bpIdx++
+			continue
+		}
+
+		xNew := append(Solution(nil), x...)
+		err := c.newtonSolve(xNew, x, target, step, spec.Method)
+		if err != nil {
+			// Retry with a halved step.
+			dt = step / 2
+			if dt < spec.InitStep*minStepFrac {
+				return nil, fmt.Errorf("circuit: transient stalled at t=%g: %w", t, err)
+			}
+			continue
+		}
+		for _, d := range c.devices {
+			if sd, ok := d.(stateful); ok {
+				sd.accept(xNew, x, step, spec.Method)
+			}
+		}
+		t = target
+		x = xNew
+		res.Times = append(res.Times, t)
+		res.Values = append(res.Values, append(Solution(nil), x...))
+		if hitBreak {
+			bpIdx++
+			dt = spec.InitStep
+		} else {
+			dt = math.Min(dt*spec.Growth, spec.MaxStep)
+		}
+	}
+	return res, nil
+}
+
+func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
+	var bps []float64
+	for _, d := range c.devices {
+		switch dev := d.(type) {
+		case *VSource:
+			bps = append(bps, dev.W.Breakpoints()...)
+		case *ISource:
+			bps = append(bps, dev.W.Breakpoints()...)
+		}
+	}
+	bps = append(bps, spec.ExtraBreakpoints...)
+	sort.Float64s(bps)
+	// Deduplicate and drop points outside (0, TStop).
+	out := bps[:0]
+	for _, b := range bps {
+		if b <= 0 || b >= spec.TStop {
+			continue
+		}
+		if len(out) > 0 && b-out[len(out)-1] < 1e-21 {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// newtonSolve iterates the damped Newton loop in place on x. xPrev is the
+// previous accepted timestep solution (used by reactive companion models);
+// dt == 0 selects DC. Convergence is on the voltage-update norm.
+func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrator) error {
+	n := c.unknowns()
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+	st := &Stamper{a: a, b: b, xPrev: xPrev, time: t, dt: dt, method: method, nNodes: len(c.names)}
+
+	for iter := 0; iter < c.MaxNewtonIter; iter++ {
+		for i := range a {
+			row := a[i]
+			for j := range row {
+				row[j] = 0
+			}
+			b[i] = 0
+		}
+		st.x = x
+		// Gmin conditioning on every node.
+		for i := 0; i < len(c.names); i++ {
+			a[i][i] += c.Gmin
+		}
+		for _, d := range c.devices {
+			d.Stamp(st)
+		}
+		if err := denseLU(a, b); err != nil {
+			return err
+		}
+		// b now holds the proposed next iterate. Damp node-voltage updates.
+		maxUpdate := 0.0
+		converged := true
+		for i := 0; i < n; i++ {
+			du := b[i] - x[i]
+			if i < len(c.names) {
+				if du > c.VStep {
+					du = c.VStep
+				} else if du < -c.VStep {
+					du = -c.VStep
+				}
+			}
+			x[i] += du
+			mag := math.Abs(du)
+			if mag > maxUpdate {
+				maxUpdate = mag
+			}
+			if mag > c.AbsTol+c.RelTol*math.Abs(x[i]) {
+				converged = false
+			}
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("circuit: Newton diverged (non-finite unknown %d)", i)
+			}
+		}
+		if converged && iter > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("circuit: Newton failed to converge in %d iterations", c.MaxNewtonIter)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"finser/internal/phys"
+	"finser/internal/rng"
+)
+
+// Adaptive Monte-Carlo: instead of a fixed particle budget, run batches
+// until the POF estimate reaches a requested relative precision. Rare-event
+// points (high Vdd, high energy, protons) need orders of magnitude more
+// particles than saturated points; fixed budgets either waste work or
+// under-resolve. The paper side-steps this with a flat 10 M iterations —
+// this estimator gets equal precision for a fraction of the strikes.
+
+// AdaptiveSpec controls the stopping rule.
+type AdaptiveSpec struct {
+	// TargetRelErr stops when stderr/mean of POFtot falls below this
+	// (default 0.05).
+	TargetRelErr float64
+	// BatchSize is the number of particles per convergence check
+	// (default 20000).
+	BatchSize int
+	// MaxStrikes bounds the total work (default 5e6). If the target
+	// precision is not reached by then, the estimate is returned with
+	// Converged=false.
+	MaxStrikes int
+	// MinStrikes guards against lucky early stops (default 2×BatchSize).
+	MinStrikes int
+}
+
+func (s AdaptiveSpec) withDefaults() AdaptiveSpec {
+	if s.TargetRelErr <= 0 {
+		s.TargetRelErr = 0.05
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = 20000
+	}
+	if s.MaxStrikes <= 0 {
+		s.MaxStrikes = 5_000_000
+	}
+	if s.MinStrikes <= 0 {
+		s.MinStrikes = 2 * s.BatchSize
+	}
+	return s
+}
+
+// AdaptivePOF is a POFPoint with convergence metadata.
+type AdaptivePOF struct {
+	POFPoint
+	Converged bool
+	RelErr    float64
+}
+
+// POFAtEnergyAdaptive estimates the POF at one energy to the requested
+// relative precision, batching until converged or the strike budget is
+// exhausted.
+func (e *Engine) POFAtEnergyAdaptive(sp phys.Species, energyMeV float64, spec AdaptiveSpec, seed uint64) (AdaptivePOF, error) {
+	spec = spec.withDefaults()
+	if energyMeV <= 0 {
+		return AdaptivePOF{}, errors.New("core: adaptive POF needs positive energy")
+	}
+	src := rng.New(seed)
+	var agg POFPoint
+	total := 0
+	// Welford-style aggregation across batches via weighted means; batch
+	// estimates are independent, so standard errors combine as
+	// se² → se²·(n_batch/n_total) when means are pooled.
+	var sumTot, sumSEU, sumMBU, sumHits float64
+	var sumSqTot float64
+	for total < spec.MaxStrikes {
+		pt := e.POFAtEnergy(sp, energyMeV, spec.BatchSize, src.Uint64())
+		n := float64(spec.BatchSize)
+		sumTot += pt.Tot * n
+		sumSEU += pt.SEU * n
+		sumMBU += pt.MBU * n
+		sumHits += pt.HitFrac * n
+		// Accumulate the per-strike second moment from the batch stderr:
+		// Var ≈ n·se² + mean² (per-strike), so Σx² ≈ n·(n·se² + mean²).
+		sumSqTot += n * (n*pt.TotStdErr*pt.TotStdErr + pt.Tot*pt.Tot)
+		total += spec.BatchSize
+
+		mean := sumTot / float64(total)
+		variance := sumSqTot/float64(total) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		se := 0.0
+		if total > 1 {
+			se = sqrt(variance / float64(total))
+		}
+		agg = POFPoint{
+			EnergyMeV: energyMeV,
+			Tot:       mean,
+			SEU:       sumSEU / float64(total),
+			MBU:       sumMBU / float64(total),
+			TotStdErr: se,
+			Strikes:   total,
+			HitFrac:   sumHits / float64(total),
+		}
+		if total >= spec.MinStrikes && mean > 0 && se/mean <= spec.TargetRelErr {
+			return AdaptivePOF{POFPoint: agg, Converged: true, RelErr: se / mean}, nil
+		}
+	}
+	rel := 0.0
+	if agg.Tot > 0 {
+		rel = agg.TotStdErr / agg.Tot
+	}
+	return AdaptivePOF{POFPoint: agg, Converged: false, RelErr: rel}, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"finser/internal/phys"
+)
+
+func TestAdaptivePOFConverges(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	res, err := e.POFAtEnergyAdaptive(phys.Alpha, 1, AdaptiveSpec{
+		TargetRelErr: 0.05, BatchSize: 5000, MaxStrikes: 400000,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("alpha at 1 MeV failed to converge in %d strikes", res.Strikes)
+	}
+	if res.RelErr > 0.05 {
+		t.Errorf("relative error %v above target", res.RelErr)
+	}
+	// The converged estimate agrees with a big fixed-budget run.
+	ref := e.POFAtEnergy(phys.Alpha, 1, 100000, 17)
+	diff := res.Tot - ref.Tot
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5*(res.TotStdErr+ref.TotStdErr) {
+		t.Errorf("adaptive %v vs fixed %v beyond noise", res.Tot, ref.Tot)
+	}
+}
+
+func TestAdaptivePOFBudgetExhaustion(t *testing.T) {
+	// An extremely rare event cannot converge in a tiny budget; the result
+	// must come back flagged rather than looping.
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	res, err := e.POFAtEnergyAdaptive(phys.Proton, 50, AdaptiveSpec{
+		TargetRelErr: 0.01, BatchSize: 2000, MaxStrikes: 8000,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("impossible precision reported as converged")
+	}
+	if res.Strikes != 8000 {
+		t.Errorf("strikes = %d, want the full budget", res.Strikes)
+	}
+}
+
+func TestAdaptivePOFRareEventNeedsMoreStrikes(t *testing.T) {
+	// The whole point: a rare-event point must consume more strikes than a
+	// saturated point at the same target precision.
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	spec := AdaptiveSpec{TargetRelErr: 0.15, BatchSize: 4000, MaxStrikes: 2_000_000}
+	common, err := e.POFAtEnergyAdaptive(phys.Alpha, 1, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare, err := e.POFAtEnergyAdaptive(phys.Proton, 0.5, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !common.Converged || !rare.Converged {
+		t.Skipf("convergence not reached (common=%v rare=%v)", common.Converged, rare.Converged)
+	}
+	if rare.Strikes <= common.Strikes {
+		t.Errorf("rare event used %d strikes, saturated used %d", rare.Strikes, common.Strikes)
+	}
+}
+
+func TestAdaptivePOFValidation(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	if _, err := e.POFAtEnergyAdaptive(phys.Alpha, 0, AdaptiveSpec{}, 1); err == nil {
+		t.Error("zero energy accepted")
+	}
+}

@@ -1,0 +1,561 @@
+// Package core implements the paper's primary contribution: the cross-layer
+// SER estimation engine (its Fig. 6 flow). It glues the device level
+// (transport: e–h pairs per struck fin), the circuit level (sram: POF per
+// strike-current combination under process variation) and the array level
+// (layout: 3-D fin placement) into the Monte-Carlo procedure of §5.1:
+//
+//  1. generate a random particle over the array,
+//  2. find the struck fins by 3-D ray analysis,
+//  3. convert per-fin deposited charge on sensitive transistors into the
+//     cell's strike-current combination,
+//  4. look up each struck cell's POF,
+//  5. combine cell POFs into POFtot/POFSEU/POFMBU (Eqs. 4–6),
+//  6. average over many particles, then integrate over the energy spectrum
+//     for the FIT rate (Eq. 8).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"finser/internal/finfet"
+	"finser/internal/geom"
+	"finser/internal/layout"
+	"finser/internal/lut"
+	"finser/internal/phys"
+	"finser/internal/rng"
+	"finser/internal/spectra"
+	"finser/internal/sram"
+	"finser/internal/stats"
+	"finser/internal/transport"
+)
+
+// DataPattern selects the bits stored in the array. The sensitive
+// transistor set of each cell depends on its stored bit, so the pattern
+// shifts which fins are live targets.
+type DataPattern int
+
+const (
+	// PatternZeros stores 0 in every cell (the canonical characterized state).
+	PatternZeros DataPattern = iota
+	// PatternOnes stores 1 in every cell.
+	PatternOnes
+	// PatternCheckerboard alternates bits in both directions — the usual
+	// worst-case test pattern.
+	PatternCheckerboard
+)
+
+// Bit returns the stored bit at (row, col).
+func (p DataPattern) Bit(row, col int) bool {
+	switch p {
+	case PatternZeros:
+		return false
+	case PatternOnes:
+		return true
+	case PatternCheckerboard:
+		return (row+col)%2 == 1
+	default:
+		panic("core: unknown data pattern")
+	}
+}
+
+// Incidence selects the angular distribution of incoming particles.
+type Incidence int
+
+const (
+	// IncidenceCosine is the cosine-law distribution of an isotropic
+	// external flux crossing the die plane (atmospheric protons).
+	IncidenceCosine Incidence = iota
+	// IncidenceIsotropic is a downward-isotropic source (package alpha
+	// emission from material directly above the die).
+	IncidenceIsotropic
+)
+
+// DefaultIncidence returns the physically appropriate incidence for a
+// species: cosine-law for atmospheric protons, isotropic for package
+// alphas.
+func DefaultIncidence(sp phys.Species) Incidence {
+	if sp == phys.Alpha {
+		return IncidenceIsotropic
+	}
+	return IncidenceCosine
+}
+
+// DepositMode selects how per-fin charge deposits are obtained during the
+// array Monte Carlo.
+type DepositMode int
+
+const (
+	// DepositTransport traces every particle through the fin geometry,
+	// resolving actual chord lengths, energy depletion, and straggling.
+	DepositTransport DepositMode = iota
+	// DepositLUT reproduces the paper's tractability device: a pre-built
+	// single-fin look-up table of mean e-h yield versus energy (its Geant4
+	// LUT, Fig. 4) supplies the deposit for every struck fin, ignoring
+	// per-strike chord detail. Faster, coarser — the ablation benchmarks
+	// quantify the difference.
+	DepositLUT
+)
+
+// Config assembles an Engine.
+type Config struct {
+	Tech       finfet.Technology
+	Rows, Cols int // array dimensions (the paper uses 9×9)
+	// Char is the cell POF model at the target Vdd: a sample-based
+	// sram.Characterization, or a serialized sram.GridLUT for the paper's
+	// LUT-only array architecture. For a symmetric cell it serves both
+	// stored states (the axis mapping mirrors the roles).
+	Char sram.POFProvider
+	// CharOne optionally overrides the POF model for cells storing 1 —
+	// needed when the cell is asymmetric (e.g. BTI-aged with a static data
+	// pattern). Nil reuses Char for both states.
+	CharOne sram.POFProvider
+	// Transport configures the device-level physics.
+	Transport transport.Config
+	// Deposits selects full transport (default) or the paper's
+	// mean-yield-LUT shortcut.
+	Deposits DepositMode
+	// LUTIters is the Monte-Carlo budget per energy grid point when
+	// building yield LUTs for DepositLUT mode. Zero selects 20000.
+	LUTIters int
+	// Pattern is the stored data pattern.
+	Pattern DataPattern
+	// Incidence overrides the per-species default when non-nil.
+	Incidence *Incidence
+	// Workers bounds MC parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// NeutronSubstrateDepthNm is the depth of handle-wafer silicon (below
+	// the BOX) modelled as a neutron interaction volume. Energetic reaction
+	// secondaries born there can traverse the BOX and strike fins even
+	// though the BOX blocks charge diffusion. Zero selects 3000 nm, roughly
+	// the range of the hardest Si recoils.
+	NeutronSubstrateDepthNm float64
+}
+
+// Engine is a ready-to-run array SER estimator for one (technology, Vdd).
+type Engine struct {
+	cfg      Config
+	arr      *layout.Array
+	boxes    []geom.AABB
+	cellFins [][]int // fin indices per cell, for the grid-walk broad phase
+
+	yieldMu   sync.Mutex
+	yieldLUTs map[phys.Species]*lut.Table1D // DepositLUT mode, built lazily
+}
+
+// New builds the engine: tiles the thin-cell layout into the array and
+// prepares the broad-phase structures.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Char == nil {
+		return nil, errors.New("core: config needs a cell characterization")
+	}
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("core: bad array dims %d×%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	arr, err := layout.NewArray(layout.ThinCellLayout(cfg.Tech), cfg.Rows, cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, arr: arr, boxes: arr.Boxes()}
+	e.cellFins = make([][]int, arr.NumCells())
+	for i, f := range arr.Fins() {
+		ci := arr.CellIndex(f.Row, f.Col)
+		e.cellFins[ci] = append(e.cellFins[ci], i)
+	}
+	return e, nil
+}
+
+// Array exposes the tiled array (for reporting dimensions etc.).
+func (e *Engine) Array() *layout.Array { return e.arr }
+
+// sampleRay draws a random particle: uniform position on the array top
+// face, direction from the configured incidence.
+func (e *Engine) sampleRay(src *rng.Source, sp phys.Species) geom.Ray {
+	inc := DefaultIncidence(sp)
+	if e.cfg.Incidence != nil {
+		inc = *e.cfg.Incidence
+	}
+	origin := src.PointOnTopFace(e.arr.Bounds())
+	var dir geom.Vec3
+	if inc == IncidenceCosine {
+		dir = src.CosineLawDirection()
+	} else {
+		dir = src.DownwardIsotropic()
+	}
+	return geom.Ray{Origin: origin, Dir: dir}
+}
+
+// strikeOutcome is the per-particle result.
+type strikeOutcome struct {
+	pofTot, pofSEU, pofMBU float64
+	struckCells            int // cells with charge on ≥1 sensitive transistor
+}
+
+// providerFor returns the POF model for the cell at the dense index ci,
+// honouring the optional per-state override for asymmetric cells.
+func (e *Engine) providerFor(ci int) sram.POFProvider {
+	if e.cfg.CharOne == nil {
+		return e.cfg.Char
+	}
+	if e.cfg.Pattern.Bit(ci/e.arr.Cols, ci%e.arr.Cols) {
+		return e.cfg.CharOne
+	}
+	return e.cfg.Char
+}
+
+// yieldLUT returns (building on first use) the single-fin mean-yield table
+// for the species — the paper's Geant4 LUT.
+func (e *Engine) yieldLUT(sp phys.Species) *lut.Table1D {
+	e.yieldMu.Lock()
+	defer e.yieldMu.Unlock()
+	if e.yieldLUTs == nil {
+		e.yieldLUTs = map[phys.Species]*lut.Table1D{}
+	}
+	if t, ok := e.yieldLUTs[sp]; ok {
+		return t
+	}
+	iters := e.cfg.LUTIters
+	if iters <= 0 {
+		iters = 20000
+	}
+	fin := geom.BoxAt(geom.V(0, 0, 0),
+		geom.V(e.cfg.Tech.FinWidthNm, e.cfg.Tech.GateLengthNm, e.cfg.Tech.FinHeightNm))
+	energies := lut.LogSpace(0.05, 1000, 25)
+	t, err := transport.BuildFinYieldLUT(e.cfg.Transport, sp, energies, fin, iters,
+		rng.New(0xF14F+uint64(sp)))
+	if err != nil {
+		// Construction can only fail on programmer error (validated inputs).
+		panic("core: yield LUT: " + err.Error())
+	}
+	e.yieldLUTs[sp] = t
+	return t
+}
+
+// strike runs steps 1–5 of the paper's §5.1 for one particle.
+func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64) strikeOutcome {
+	ray := e.sampleRay(src, sp)
+
+	// Broad phase: only trace fins of cells whose bounds the ray crosses.
+	candidate := candidateFins(e, ray)
+	if len(candidate) == 0 {
+		return strikeOutcome{}
+	}
+	var deps []transport.Deposit
+	if e.cfg.Deposits == DepositLUT {
+		// Paper-style: every struck fin receives the mean yield at this
+		// energy, regardless of chord geometry.
+		yield := e.yieldLUT(sp).Eval(energyMeV)
+		for i, fi := range candidate {
+			if _, _, ok := e.boxes[fi].Intersect(ray); ok {
+				deps = append(deps, transport.Deposit{Fin: i, Pairs: yield})
+			}
+		}
+	} else {
+		boxes := make([]geom.AABB, len(candidate))
+		for i, fi := range candidate {
+			boxes[i] = e.boxes[fi]
+		}
+		deps = transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
+	}
+	if len(deps) == 0 {
+		return strikeOutcome{}
+	}
+
+	// Accumulate per-cell sensitive-axis charges.
+	fins := e.arr.Fins()
+	charges := map[int]*[sram.NumAxes]float64{}
+	for _, d := range deps {
+		f := fins[candidate[d.Fin]]
+		bit := e.cfg.Pattern.Bit(f.Row, f.Col)
+		axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
+		if !sensitive {
+			continue // the paper discards charge on non-sensitive transistors
+		}
+		ci := e.arr.CellIndex(f.Row, f.Col)
+		cc, ok := charges[ci]
+		if !ok {
+			cc = new([sram.NumAxes]float64)
+			charges[ci] = cc
+		}
+		cc[axis] += phys.ChargeFromPairs(d.Pairs)
+	}
+	if len(charges) == 0 {
+		return strikeOutcome{}
+	}
+
+	// Per-cell POFs and the paper's Eqs. 4–6.
+	pofs := make([]float64, 0, len(charges))
+	for ci, cc := range charges {
+		if p := e.providerFor(ci).POF(*cc); p > 0 {
+			pofs = append(pofs, p)
+		}
+	}
+	return combinePOFs(pofs, len(charges))
+}
+
+// candidateFins returns indices of fins in cells the ray can reach. Cells
+// tile a regular XY grid, so instead of testing every cell's bounds the
+// engine walks the ray's XY projection through the grid (Amanatides–Woo
+// traversal) — O(cells crossed), which keeps large arrays fast. Fins are
+// strictly inside their cell footprint (a layout invariant), so the walk
+// is exact; TestBroadPhaseComplete cross-checks it against brute force.
+func candidateFins(e *Engine, ray geom.Ray) []int {
+	tIn, tOut, ok := e.arr.Bounds().Intersect(ray)
+	if !ok {
+		return nil
+	}
+	w := e.arr.Cell.WidthNm
+	h := e.arr.Cell.HeightNm
+	p0 := ray.At(tIn)
+	p1 := ray.At(tOut)
+
+	clampCol := func(x float64) int {
+		c := int(x / w)
+		if c < 0 {
+			return 0
+		}
+		if c >= e.arr.Cols {
+			return e.arr.Cols - 1
+		}
+		return c
+	}
+	clampRow := func(y float64) int {
+		r := int(y / h)
+		if r < 0 {
+			return 0
+		}
+		if r >= e.arr.Rows {
+			return e.arr.Rows - 1
+		}
+		return r
+	}
+	col := clampCol(p0.X)
+	row := clampRow(p0.Y)
+	endCol := clampCol(p1.X)
+	endRow := clampRow(p1.Y)
+
+	var out []int
+	visit := func(r, c int) {
+		out = append(out, e.cellFins[e.arr.CellIndex(r, c)]...)
+	}
+	visit(row, col)
+	if col == endCol && row == endRow {
+		return out
+	}
+
+	dx := p1.X - p0.X
+	dy := p1.Y - p0.Y
+	stepC, stepR := 0, 0
+	tMaxX, tMaxY := math.Inf(1), math.Inf(1)
+	tDeltaX, tDeltaY := math.Inf(1), math.Inf(1)
+	if dx > 0 {
+		stepC = 1
+		tMaxX = (float64(col+1)*w - p0.X) / dx
+		tDeltaX = w / dx
+	} else if dx < 0 {
+		stepC = -1
+		tMaxX = (float64(col)*w - p0.X) / dx
+		tDeltaX = -w / dx
+	}
+	if dy > 0 {
+		stepR = 1
+		tMaxY = (float64(row+1)*h - p0.Y) / dy
+		tDeltaY = h / dy
+	} else if dy < 0 {
+		stepR = -1
+		tMaxY = (float64(row)*h - p0.Y) / dy
+		tDeltaY = -h / dy
+	}
+
+	// Walk until the segment parameter exceeds 1 (the exit point).
+	for steps := 0; steps < e.arr.Rows+e.arr.Cols+2; steps++ {
+		if tMaxX < tMaxY {
+			if tMaxX > 1 {
+				break
+			}
+			col += stepC
+			if col < 0 || col >= e.arr.Cols {
+				break
+			}
+			tMaxX += tDeltaX
+		} else {
+			if tMaxY > 1 {
+				break
+			}
+			row += stepR
+			if row < 0 || row >= e.arr.Rows {
+				break
+			}
+			tMaxY += tDeltaY
+		}
+		visit(row, col)
+		if col == endCol && row == endRow {
+			break
+		}
+	}
+	return out
+}
+
+// combinePOFs applies Eqs. 4–6: POFtot = 1-Π(1-pᵢ),
+// POFSEU = Σᵢ pᵢ·Πⱼ≠ᵢ(1-pⱼ), POFMBU = POFtot - POFSEU.
+func combinePOFs(pofs []float64, struck int) strikeOutcome {
+	out := strikeOutcome{struckCells: struck}
+	if len(pofs) == 0 {
+		return out
+	}
+	prodAll := 1.0
+	for _, p := range pofs {
+		prodAll *= 1 - p
+	}
+	out.pofTot = 1 - prodAll
+	for i, pi := range pofs {
+		prod := pi
+		for j, pj := range pofs {
+			if j != i {
+				prod *= 1 - pj
+			}
+		}
+		out.pofSEU += prod
+	}
+	out.pofMBU = out.pofTot - out.pofSEU
+	if out.pofMBU < 0 { // numerical guard
+		out.pofMBU = 0
+	}
+	return out
+}
+
+// POFPoint is the array POF at one particle energy, averaged over strikes
+// that are guaranteed to hit the array footprint (the paper's Fig. 8
+// convention).
+type POFPoint struct {
+	EnergyMeV float64
+	Tot       float64 // mean POFtot per particle
+	SEU       float64
+	MBU       float64
+	TotStdErr float64
+	Strikes   int
+	// HitFrac is the fraction of particles that charged at least one
+	// sensitive transistor.
+	HitFrac float64
+}
+
+// POFAtEnergy runs iters Monte-Carlo particles of the species at one energy
+// in parallel and returns the averaged POFs.
+func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed uint64) POFPoint {
+	workers := e.cfg.Workers
+	if iters < workers {
+		workers = 1
+	}
+	srcs := rng.New(seed).ForkN(workers)
+
+	type acc struct {
+		tot, seu, mbu stats.Welford
+		hits          int
+	}
+	results := make(chan acc, workers)
+	var wg sync.WaitGroup
+	per := iters / workers
+	extra := iters % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(src *rng.Source, n int) {
+			defer wg.Done()
+			var a acc
+			for i := 0; i < n; i++ {
+				o := e.strike(src, sp, energyMeV)
+				a.tot.Add(o.pofTot)
+				a.seu.Add(o.pofSEU)
+				a.mbu.Add(o.pofMBU)
+				if o.struckCells > 0 {
+					a.hits++
+				}
+			}
+			results <- a
+		}(srcs[w], n)
+	}
+	wg.Wait()
+	close(results)
+
+	var tot, seu, mbu stats.Welford
+	hits := 0
+	for a := range results {
+		tot.Merge(a.tot)
+		seu.Merge(a.seu)
+		mbu.Merge(a.mbu)
+		hits += a.hits
+	}
+	return POFPoint{
+		EnergyMeV: energyMeV,
+		Tot:       tot.Mean(),
+		SEU:       seu.Mean(),
+		MBU:       mbu.Mean(),
+		TotStdErr: tot.StdErr(),
+		Strikes:   iters,
+		HitFrac:   float64(hits) / float64(iters),
+	}
+}
+
+// FITResult is the spectrum-integrated failure rate of the array.
+type FITResult struct {
+	Species phys.Species
+	Vdd     float64
+	// FIT rates: failures per 10⁹ device-hours (Eq. 8 scaled to FIT).
+	TotalFIT float64
+	SEUFIT   float64
+	MBUFIT   float64
+	// TotalFITErr is the 1σ Monte-Carlo uncertainty of TotalFIT, from the
+	// per-bin POF standard errors propagated through Eq. 8 (bins are
+	// independent, so variances add).
+	TotalFITErr float64
+	// MBUToSEU is the Fig. 10 ratio (in %, MBU FIT / SEU FIT × 100).
+	MBUToSEU float64
+	Points   []POFPoint // per-bin POFs, aligned with Bins
+	Bins     []spectra.EnergyBin
+}
+
+// fitScale converts POF·flux[/(cm²·s)]·area[cm²] into FIT
+// (events/1e9 hours).
+const fitScale = 3600 * 1e9
+
+// FIT runs the full Eq. 8 integration: per energy bin, estimate the POF
+// with itersPerBin Monte-Carlo particles, multiply by the bin's integral
+// flux and the array area, and sum.
+func (e *Engine) FIT(spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBin int, seed uint64) (FITResult, error) {
+	if len(bins) == 0 {
+		return FITResult{}, errors.New("core: FIT needs at least one energy bin")
+	}
+	if itersPerBin <= 0 {
+		return FITResult{}, errors.New("core: FIT needs positive iterations per bin")
+	}
+	lx, ly := e.arr.DimsCm()
+	area := lx * ly
+	res := FITResult{
+		Species: spec.Species(),
+		Vdd:     e.cfg.Char.SupplyVoltage(),
+		Bins:    bins,
+	}
+	src := rng.New(seed)
+	for _, b := range bins {
+		pt := e.POFAtEnergy(spec.Species(), b.Rep, itersPerBin, src.Uint64())
+		res.Points = append(res.Points, pt)
+		res.TotalFIT += pt.Tot * b.IntFlux * area * fitScale
+		res.SEUFIT += pt.SEU * b.IntFlux * area * fitScale
+		res.MBUFIT += pt.MBU * b.IntFlux * area * fitScale
+		binErr := pt.TotStdErr * b.IntFlux * area * fitScale
+		res.TotalFITErr = math.Sqrt(res.TotalFITErr*res.TotalFITErr + binErr*binErr)
+	}
+	if res.SEUFIT > 0 {
+		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
+	}
+	return res, nil
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"finser/internal/finfet"
+	"finser/internal/phys"
+	"finser/internal/spectra"
+	"finser/internal/sram"
+	"finser/internal/transport"
+)
+
+// Shared fixtures: characterizations are the expensive part, so build them
+// once per test binary.
+var (
+	fixOnce  sync.Once
+	char07   *sram.Characterization
+	char11   *sram.Characterization
+	charNom  *sram.Characterization // nominal (no PV) at 0.7 V
+	fixError error
+)
+
+func fixtures(t *testing.T) (*sram.Characterization, *sram.Characterization, *sram.Characterization) {
+	t.Helper()
+	fixOnce.Do(func() {
+		tech := finfet.Default14nmSOI()
+		char07, fixError = sram.Characterize(sram.CharConfig{
+			Tech: tech, Vdd: 0.7, ProcessVariation: true, Samples: 50, Seed: 1,
+		})
+		if fixError != nil {
+			return
+		}
+		char11, fixError = sram.Characterize(sram.CharConfig{
+			Tech: tech, Vdd: 1.1, ProcessVariation: true, Samples: 50, Seed: 1,
+		})
+		if fixError != nil {
+			return
+		}
+		charNom, fixError = sram.Characterize(sram.CharConfig{
+			Tech: tech, Vdd: 0.7, ProcessVariation: false, Seed: 1,
+		})
+	})
+	if fixError != nil {
+		t.Fatal(fixError)
+	}
+	return char07, char11, charNom
+}
+
+func engineWith(t *testing.T, ch *sram.Characterization) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Tech: finfet.Default14nmSOI(), Rows: 9, Cols: 9,
+		Char: ch, Transport: transport.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	if _, err := New(Config{Tech: finfet.Default14nmSOI(), Rows: 9, Cols: 9}); err == nil {
+		t.Error("nil characterization accepted")
+	}
+	if _, err := New(Config{Tech: finfet.Default14nmSOI(), Rows: 0, Cols: 9, Char: ch}); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestDataPattern(t *testing.T) {
+	if PatternZeros.Bit(3, 4) || !PatternOnes.Bit(0, 0) {
+		t.Error("uniform patterns wrong")
+	}
+	if PatternCheckerboard.Bit(0, 0) || !PatternCheckerboard.Bit(0, 1) || !PatternCheckerboard.Bit(1, 0) || PatternCheckerboard.Bit(1, 1) {
+		t.Error("checkerboard wrong")
+	}
+}
+
+func TestDefaultIncidence(t *testing.T) {
+	if DefaultIncidence(phys.Proton) != IncidenceCosine {
+		t.Error("protons should default to cosine-law incidence")
+	}
+	if DefaultIncidence(phys.Alpha) != IncidenceIsotropic {
+		t.Error("alphas should default to isotropic incidence")
+	}
+}
+
+func TestCombinePOFsExactCases(t *testing.T) {
+	cases := []struct {
+		pofs          []float64
+		tot, seu, mbu float64
+	}{
+		{nil, 0, 0, 0},
+		{[]float64{0.5}, 0.5, 0.5, 0},
+		{[]float64{1}, 1, 1, 0},
+		{[]float64{0.5, 0.5}, 0.75, 0.5, 0.25},
+		{[]float64{1, 1}, 1, 0, 1},
+		{[]float64{0.2, 0.3}, 1 - 0.8*0.7, 0.2*0.7 + 0.3*0.8, 1 - 0.56 - 0.38},
+	}
+	for i, c := range cases {
+		o := combinePOFs(c.pofs, len(c.pofs))
+		if math.Abs(o.pofTot-c.tot) > 1e-12 ||
+			math.Abs(o.pofSEU-c.seu) > 1e-12 ||
+			math.Abs(o.pofMBU-c.mbu) > 1e-12 {
+			t.Errorf("case %d: got (%v,%v,%v), want (%v,%v,%v)",
+				i, o.pofTot, o.pofSEU, o.pofMBU, c.tot, c.seu, c.mbu)
+		}
+	}
+}
+
+// Property: Eqs. 4–6 identities for arbitrary POF vectors.
+func TestCombinePOFsProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		pofs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				return true
+			}
+			p := math.Abs(math.Mod(r, 1))
+			pofs = append(pofs, p)
+		}
+		if len(pofs) > 12 {
+			pofs = pofs[:12]
+		}
+		o := combinePOFs(pofs, len(pofs))
+		if o.pofTot < -1e-12 || o.pofTot > 1+1e-12 {
+			return false
+		}
+		if o.pofSEU < -1e-12 || o.pofMBU < 0 {
+			return false
+		}
+		// POFtot = POFSEU + POFMBU by construction; POFtot ≥ max(pᵢ).
+		for _, p := range pofs {
+			if o.pofTot < p-1e-9 {
+				return false
+			}
+		}
+		return math.Abs(o.pofTot-(o.pofSEU+o.pofMBU)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPOFDeterministicAcrossRuns(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	a := e.POFAtEnergy(phys.Alpha, 1, 5000, 99)
+	b := e.POFAtEnergy(phys.Alpha, 1, 5000, 99)
+	if a.Tot != b.Tot || a.SEU != b.SEU || a.MBU != b.MBU {
+		t.Error("same seed gave different POFs")
+	}
+	c := e.POFAtEnergy(phys.Alpha, 1, 5000, 100)
+	if a.Tot == c.Tot {
+		t.Error("different seeds gave identical POFs (suspicious)")
+	}
+}
+
+func TestPOFAlphaExceedsProton(t *testing.T) {
+	// Fig. 8: alpha POF ≫ proton POF at the same energy.
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	for _, en := range []float64{0.5, 1, 5} {
+		a := e.POFAtEnergy(phys.Alpha, en, 15000, 7)
+		p := e.POFAtEnergy(phys.Proton, en, 15000, 8)
+		if a.Tot <= 3*p.Tot {
+			t.Errorf("at %v MeV alpha POF %v not ≫ proton %v", en, a.Tot, p.Tot)
+		}
+	}
+}
+
+func TestPOFDecreasesWithEnergy(t *testing.T) {
+	// Fig. 8: POF decreases at higher particle energies (above the Bragg
+	// peak, fewer e-h pairs are generated).
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	low := e.POFAtEnergy(phys.Alpha, 2, 15000, 3)
+	high := e.POFAtEnergy(phys.Alpha, 10, 15000, 3)
+	if low.Tot <= high.Tot {
+		t.Errorf("alpha POF not decreasing: %v at 2 MeV vs %v at 10 MeV", low.Tot, high.Tot)
+	}
+}
+
+func TestPOFIncreasesAtLowerVdd(t *testing.T) {
+	// Fig. 8: lower supply ⇒ higher POF.
+	ch07, ch11, _ := fixtures(t)
+	e07 := engineWith(t, ch07)
+	e11 := engineWith(t, ch11)
+	p07 := e07.POFAtEnergy(phys.Alpha, 5, 15000, 4)
+	p11 := e11.POFAtEnergy(phys.Alpha, 5, 15000, 4)
+	if p07.Tot <= p11.Tot {
+		t.Errorf("POF(0.7V)=%v not above POF(1.1V)=%v", p07.Tot, p11.Tot)
+	}
+}
+
+func TestAlphaMBUExceedsProtonMBU(t *testing.T) {
+	// Fig. 10 mechanism: MBU/SEU ratio much higher for alphas.
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	a := e.POFAtEnergy(phys.Alpha, 1, 40000, 5)
+	p := e.POFAtEnergy(phys.Proton, 0.3, 40000, 6)
+	aRatio := a.MBU / a.SEU
+	var pRatio float64
+	if p.SEU > 0 {
+		pRatio = p.MBU / p.SEU
+	}
+	if aRatio <= pRatio {
+		t.Errorf("alpha MBU/SEU %v not above proton %v", aRatio, pRatio)
+	}
+	if aRatio < 0.02 {
+		t.Errorf("alpha MBU/SEU = %v, implausibly low", aRatio)
+	}
+}
+
+func TestProcessVariationRaisesPOF(t *testing.T) {
+	// Fig. 11: neglecting process variation underestimates SER. At an
+	// energy where typical deposits sit near the nominal critical charge,
+	// the variation tail flips cells the nominal corner would not.
+	chPV, _, chNom := fixtures(t)
+	ePV := engineWith(t, chPV)
+	eNom := engineWith(t, chNom)
+	// 10 MeV alphas deposit near threshold (lower stopping power).
+	pv := ePV.POFAtEnergy(phys.Alpha, 10, 40000, 9)
+	nom := eNom.POFAtEnergy(phys.Alpha, 10, 40000, 9)
+	if pv.Tot <= nom.Tot {
+		t.Errorf("PV POF %v not above nominal %v", pv.Tot, nom.Tot)
+	}
+}
+
+func TestFITValidation(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	spec, _ := spectra.NewAlphaEmission(spectra.DefaultAlphaRate)
+	if _, err := e.FIT(spec, nil, 100, 1); err == nil {
+		t.Error("empty bins accepted")
+	}
+	bins, _ := spectra.Bins(spec, 0.5, 10, 4)
+	if _, err := e.FIT(spec, bins, 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestFITConsistency(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	spec, _ := spectra.NewAlphaEmission(spectra.DefaultAlphaRate)
+	bins, _ := spectra.Bins(spec, 0.5, 10, 6)
+	res, err := e.FIT(spec, bins, 8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFIT <= 0 {
+		t.Fatal("zero total FIT for alpha at 0.7 V")
+	}
+	if math.Abs(res.TotalFIT-(res.SEUFIT+res.MBUFIT))/res.TotalFIT > 1e-9 {
+		t.Errorf("FIT split inconsistent: %v != %v + %v", res.TotalFIT, res.SEUFIT, res.MBUFIT)
+	}
+	if res.Species != phys.Alpha || res.Vdd != 0.7 {
+		t.Errorf("metadata wrong: %v %v", res.Species, res.Vdd)
+	}
+	if len(res.Points) != len(bins) {
+		t.Errorf("points = %d, want %d", len(res.Points), len(bins))
+	}
+}
+
+func TestFITLinearInFlux(t *testing.T) {
+	// Doubling the emission rate doubles the FIT (Eq. 8 linearity).
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	s1, _ := spectra.NewAlphaEmission(0.001)
+	s2, _ := spectra.NewAlphaEmission(0.002)
+	b1, _ := spectra.Bins(s1, 0.5, 10, 4)
+	b2, _ := spectra.Bins(s2, 0.5, 10, 4)
+	r1, err := e.FIT(s1, b1, 6000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.FIT(s2, b2, 6000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := r2.TotalFIT / r1.TotalFIT; math.Abs(ratio-2) > 1e-6 {
+		t.Errorf("FIT flux scaling = %v, want 2 (same seed, same strikes)", ratio)
+	}
+}
+
+func TestPatternSymmetry(t *testing.T) {
+	// All-zeros and all-ones patterns are mirror images; their POFs must
+	// agree within Monte-Carlo noise.
+	ch, _, _ := fixtures(t)
+	mk := func(p DataPattern) *Engine {
+		e, err := New(Config{
+			Tech: finfet.Default14nmSOI(), Rows: 9, Cols: 9,
+			Char: ch, Transport: transport.DefaultConfig(), Pattern: p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	z := mk(PatternZeros).POFAtEnergy(phys.Alpha, 1, 30000, 17)
+	o := mk(PatternOnes).POFAtEnergy(phys.Alpha, 1, 30000, 18)
+	if z.Tot == 0 || o.Tot == 0 {
+		t.Fatal("zero POF in symmetry test")
+	}
+	if r := z.Tot / o.Tot; r < 0.8 || r > 1.25 {
+		t.Errorf("pattern asymmetry: zeros/ones POF ratio = %v", r)
+	}
+}
+
+func TestIncidenceOverride(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	iso := IncidenceIsotropic
+	e, err := New(Config{
+		Tech: finfet.Default14nmSOI(), Rows: 9, Cols: 9,
+		Char: ch, Transport: transport.DefaultConfig(), Incidence: &iso,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cos := IncidenceCosine
+	e2, err := New(Config{
+		Tech: finfet.Default14nmSOI(), Rows: 9, Cols: 9,
+		Char: ch, Transport: transport.DefaultConfig(), Incidence: &cos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Isotropic incidence has more grazing tracks → more multi-fin strikes
+	// → at minimum, a different POF than cosine-law.
+	pi := e.POFAtEnergy(phys.Proton, 0.3, 30000, 21)
+	pc := e2.POFAtEnergy(phys.Proton, 0.3, 30000, 21)
+	if pi.Tot == pc.Tot {
+		t.Error("incidence override had no effect")
+	}
+}
+
+func TestArrayAccessor(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	if e.Array().NumCells() != 81 {
+		t.Errorf("array cells = %d", e.Array().NumCells())
+	}
+}
+
+func TestFITErrorPropagation(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	spec, _ := spectra.NewAlphaEmission(spectra.DefaultAlphaRate)
+	bins, _ := spectra.Bins(spec, 0.5, 10, 6)
+	small, err := e.FIT(spec, bins, 4000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := e.FIT(spec, bins, 32000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TotalFITErr <= 0 || big.TotalFITErr <= 0 {
+		t.Fatal("zero FIT error bars")
+	}
+	// 8× the strikes shrinks the error roughly √8 ≈ 2.8×.
+	r := small.TotalFITErr / big.TotalFITErr
+	if r < 1.8 || r > 4.5 {
+		t.Errorf("error scaling with strikes = %v, want ≈ 2.8", r)
+	}
+	// The estimates must agree within their combined error bars (5σ).
+	diff := math.Abs(small.TotalFIT - big.TotalFIT)
+	if diff > 5*(small.TotalFITErr+big.TotalFITErr) {
+		t.Errorf("FIT estimates disagree beyond error bars: %v vs %v", small.TotalFIT, big.TotalFIT)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"finser/internal/geom"
+	"finser/internal/phys"
+	"finser/internal/rng"
+	"finser/internal/sram"
+	"finser/internal/transport"
+)
+
+// MBU spatial statistics. Beyond the paper's scalar MBU/SEU ratio, system
+// designers need the *shape* of multi-bit upsets — how many bits flip per
+// event and how far apart they sit — because error-correcting codes with
+// column interleaving only survive MBUs whose flipped bits land in
+// different logical words. This file extracts those statistics from the
+// same strike Monte Carlo.
+
+// PairKey is the row/column separation of a pair of upset cells
+// (canonicalized: DRow ≥ 0, and DCol ≥ 0 when DRow == 0).
+type PairKey struct {
+	DRow, DCol int
+}
+
+// MBUReport summarizes upset multiplicity and geometry at one energy.
+type MBUReport struct {
+	Species   phys.Species
+	EnergyMeV float64
+	Strikes   int
+	// MultiplicityPMF[k] is the per-strike probability of exactly k cells
+	// flipping (k = 0 .. len-1; the last entry aggregates ≥ len-1).
+	MultiplicityPMF []float64
+	// PairWeights[key] is the expected number of flipped pairs per strike
+	// with the given separation: Σ pᵢ·pⱼ over cell pairs, averaged over
+	// strikes. It is the input to ECC interleaving analysis.
+	PairWeights map[PairKey]float64
+	// MeanFlips is the expected flips per strike (Σ pᵢ averaged).
+	MeanFlips float64
+}
+
+// MBUStatsAtEnergy runs iters strikes at one energy and gathers multiplicity
+// and pair-separation statistics. maxK bounds the multiplicity PMF length
+// (use 5-8; events beyond that are vanishingly rare).
+func (e *Engine) MBUStatsAtEnergy(sp phys.Species, energyMeV float64, iters, maxK int, seed uint64) MBUReport {
+	if maxK < 2 {
+		maxK = 2
+	}
+	workers := e.cfg.Workers
+	if iters < workers {
+		workers = 1
+	}
+	srcs := rng.New(seed).ForkN(workers)
+	results := make(chan MBUReport, workers)
+	var wg sync.WaitGroup
+	per := iters / workers
+	extra := iters % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(src *rng.Source, n int) {
+			defer wg.Done()
+			results <- e.mbuStatsWorker(src, sp, energyMeV, n, maxK)
+		}(srcs[w], n)
+	}
+	wg.Wait()
+	close(results)
+
+	rep := MBUReport{
+		Species:         sp,
+		EnergyMeV:       energyMeV,
+		Strikes:         iters,
+		MultiplicityPMF: make([]float64, maxK+1),
+		PairWeights:     map[PairKey]float64{},
+	}
+	for part := range results {
+		for k, v := range part.MultiplicityPMF {
+			rep.MultiplicityPMF[k] += v
+		}
+		for key, wgt := range part.PairWeights {
+			rep.PairWeights[key] += wgt
+		}
+		rep.MeanFlips += part.MeanFlips
+	}
+	inv := 1 / float64(iters)
+	for k := range rep.MultiplicityPMF {
+		rep.MultiplicityPMF[k] *= inv
+	}
+	rep.MeanFlips *= inv
+	for k := range rep.PairWeights {
+		rep.PairWeights[k] *= inv
+	}
+	return rep
+}
+
+// mbuStatsWorker accumulates UNNORMALIZED sums over n strikes.
+func (e *Engine) mbuStatsWorker(src *rng.Source, sp phys.Species, energyMeV float64, n, maxK int) MBUReport {
+	rep := MBUReport{
+		MultiplicityPMF: make([]float64, maxK+1),
+		PairWeights:     map[PairKey]float64{},
+	}
+	pmf := make([]float64, maxK+1)
+	next := make([]float64, maxK+1)
+	type upset struct {
+		row, col int
+		p        float64
+	}
+	var ups []upset
+
+	for it := 0; it < n; it++ {
+		ups = ups[:0]
+		// Re-run the strike but keep per-cell identities.
+		ray := e.sampleRay(src, sp)
+		candidate := candidateFins(e, ray)
+		if len(candidate) > 0 {
+			boxes := make([]geom.AABB, len(candidate))
+			for i, fi := range candidate {
+				boxes[i] = e.boxes[fi]
+			}
+			deps := transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
+			charges := map[int]*[sram.NumAxes]float64{}
+			fins := e.arr.Fins()
+			for _, d := range deps {
+				f := fins[candidate[d.Fin]]
+				bit := e.cfg.Pattern.Bit(f.Row, f.Col)
+				axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
+				if !sensitive {
+					continue
+				}
+				ci := e.arr.CellIndex(f.Row, f.Col)
+				cc, ok := charges[ci]
+				if !ok {
+					cc = new([sram.NumAxes]float64)
+					charges[ci] = cc
+				}
+				cc[axis] += phys.ChargeFromPairs(d.Pairs)
+			}
+			for ci, cc := range charges {
+				if p := e.providerFor(ci).POF(*cc); p > 0 {
+					ups = append(ups, upset{row: ci / e.arr.Cols, col: ci % e.arr.Cols, p: p})
+				}
+			}
+		}
+
+		// Poisson-binomial multiplicity PMF for this strike.
+		for i := range pmf {
+			pmf[i] = 0
+		}
+		pmf[0] = 1
+		for _, u := range ups {
+			for i := range next {
+				next[i] = 0
+			}
+			for k := 0; k <= maxK; k++ {
+				if pmf[k] == 0 {
+					continue
+				}
+				next[k] += pmf[k] * (1 - u.p)
+				if k+1 <= maxK {
+					next[k+1] += pmf[k] * u.p
+				} else {
+					next[maxK] += pmf[k] * u.p // aggregate overflow
+				}
+			}
+			copy(pmf, next)
+		}
+		for k := range pmf {
+			rep.MultiplicityPMF[k] += pmf[k]
+		}
+		for _, u := range ups {
+			rep.MeanFlips += u.p
+		}
+		// Pairwise separations weighted by joint flip probability.
+		for i := 0; i < len(ups); i++ {
+			for j := i + 1; j < len(ups); j++ {
+				rep.PairWeights[pairKey(ups[i].row, ups[i].col, ups[j].row, ups[j].col)] +=
+					ups[i].p * ups[j].p
+			}
+		}
+	}
+	return rep
+}
+
+func pairKey(r1, c1, r2, c2 int) PairKey {
+	dr, dc := r2-r1, c2-c1
+	if dr < 0 || (dr == 0 && dc < 0) {
+		dr, dc = -dr, -dc
+	}
+	return PairKey{DRow: dr, DCol: dc}
+}
+
+// SortedPairKeys returns the report's pair separations ordered by weight,
+// heaviest first — handy for reporting.
+func (r MBUReport) SortedPairKeys() []PairKey {
+	keys := make([]PairKey, 0, len(r.PairWeights))
+	for k := range r.PairWeights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		wi, wj := r.PairWeights[keys[i]], r.PairWeights[keys[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		if keys[i].DRow != keys[j].DRow {
+			return keys[i].DRow < keys[j].DRow
+		}
+		return keys[i].DCol < keys[j].DCol
+	})
+	return keys
+}
+
+// TotalPairWeight sums all pair weights (expected same-event pairs per
+// strike).
+func (r MBUReport) TotalPairWeight() float64 {
+	s := 0.0
+	for _, w := range r.PairWeights {
+		s += w
+	}
+	return s
+}
+
+// TrackInfo is the per-particle detail used by visualization: the track's
+// chord through the array bounds and the sensitive fins it charged.
+type TrackInfo struct {
+	Entry, Exit geom.Vec3
+	StruckFins  []int // global fin indices (into Array().Fins())
+	POF         float64
+}
+
+// SampleTracks runs n strikes at one energy and returns their geometric
+// detail — the input for the SVG strike overlay.
+func (e *Engine) SampleTracks(sp phys.Species, energyMeV float64, n int, seed uint64) []TrackInfo {
+	src := rng.New(seed)
+	out := make([]TrackInfo, 0, n)
+	fins := e.arr.Fins()
+	bounds := e.arr.Bounds()
+	for i := 0; i < n; i++ {
+		ray := e.sampleRay(src, sp)
+		info := TrackInfo{Entry: ray.Origin}
+		if tIn, tOut, ok := bounds.Intersect(ray); ok {
+			info.Entry = ray.At(tIn)
+			info.Exit = ray.At(tOut)
+		} else {
+			info.Exit = ray.Origin
+		}
+		candidate := candidateFins(e, ray)
+		if len(candidate) > 0 {
+			boxes := make([]geom.AABB, len(candidate))
+			for k, fi := range candidate {
+				boxes[k] = e.boxes[fi]
+			}
+			deps := transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
+			charges := map[int]*[sram.NumAxes]float64{}
+			for _, d := range deps {
+				f := fins[candidate[d.Fin]]
+				bit := e.cfg.Pattern.Bit(f.Row, f.Col)
+				axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
+				if !sensitive {
+					continue
+				}
+				info.StruckFins = append(info.StruckFins, candidate[d.Fin])
+				ci := e.arr.CellIndex(f.Row, f.Col)
+				cc, ok := charges[ci]
+				if !ok {
+					cc = new([sram.NumAxes]float64)
+					charges[ci] = cc
+				}
+				cc[axis] += phys.ChargeFromPairs(d.Pairs)
+			}
+			pofs := make([]float64, 0, len(charges))
+			for ci, cc := range charges {
+				if p := e.providerFor(ci).POF(*cc); p > 0 {
+					pofs = append(pofs, p)
+				}
+			}
+			info.POF = combinePOFs(pofs, len(charges)).pofTot
+		}
+		out = append(out, info)
+	}
+	return out
+}

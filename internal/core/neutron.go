@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"finser/internal/geom"
+	"finser/internal/neutron"
+	"finser/internal/phys"
+	"finser/internal/rng"
+	"finser/internal/spectra"
+	"finser/internal/sram"
+	"finser/internal/stats"
+	"finser/internal/transport"
+)
+
+// Neutron-induced SER: the paper's future-work extension. Neutrons do not
+// ionize directly; each Monte-Carlo trial forces a nuclear interaction
+// inside a fin the track crosses and weights the outcome by the (tiny)
+// analytic interaction probability, then transports the charged secondaries
+// (Si/Mg/Al recoils, alphas, protons) through the array with the same
+// device-level machinery used for direct ionization. Interactions are
+// restricted to fin silicon: in SOI, charge generated below the buried
+// oxide cannot reach the devices (the paper's own argument for neglecting
+// substrate diffusion).
+
+// NeutronPoint is the weighted POF of the array for neutrons at one energy:
+// the expected POF per neutron crossing the array footprint (interaction
+// probability folded in).
+type NeutronPoint struct {
+	EnergyMeV float64
+	Tot       float64
+	SEU       float64
+	MBU       float64
+	TotStdErr float64
+	Strikes   int
+	// InteractionWeight is the mean per-track interaction probability —
+	// a diagnostic for the forced-interaction variance reduction.
+	InteractionWeight float64
+}
+
+// NeutronPOFAtEnergy estimates the weighted POFs with iters forced-
+// interaction trials at one neutron energy.
+func (e *Engine) NeutronPOFAtEnergy(rx *neutron.Reactions, energyMeV float64, iters int, seed uint64) NeutronPoint {
+	workers := e.cfg.Workers
+	if iters < workers {
+		workers = 1
+	}
+	srcs := rng.New(seed).ForkN(workers)
+
+	type acc struct {
+		tot, seu, mbu, weight stats.Welford
+	}
+	results := make(chan acc, workers)
+	var wg sync.WaitGroup
+	per := iters / workers
+	extra := iters % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(src *rng.Source, n int) {
+			defer wg.Done()
+			var a acc
+			for i := 0; i < n; i++ {
+				o, wgt := e.neutronStrike(rx, src, energyMeV)
+				a.tot.Add(wgt * o.pofTot)
+				a.seu.Add(wgt * o.pofSEU)
+				a.mbu.Add(wgt * o.pofMBU)
+				a.weight.Add(wgt)
+			}
+			results <- a
+		}(srcs[w], n)
+	}
+	wg.Wait()
+	close(results)
+
+	var tot, seu, mbu, weight stats.Welford
+	for a := range results {
+		tot.Merge(a.tot)
+		seu.Merge(a.seu)
+		mbu.Merge(a.mbu)
+		weight.Merge(a.weight)
+	}
+	return NeutronPoint{
+		EnergyMeV:         energyMeV,
+		Tot:               tot.Mean(),
+		SEU:               seu.Mean(),
+		MBU:               mbu.Mean(),
+		TotStdErr:         tot.StdErr(),
+		Strikes:           iters,
+		InteractionWeight: weight.Mean(),
+	}
+}
+
+// substrateSlab returns the handle-wafer silicon volume under the BOX that
+// serves as an additional neutron interaction target.
+func (e *Engine) substrateSlab() (geom.AABB, bool) {
+	depth := e.cfg.NeutronSubstrateDepthNm
+	if depth == 0 {
+		depth = 3000
+	}
+	if depth < 0 {
+		return geom.AABB{}, false
+	}
+	b := e.arr.Bounds()
+	top := -e.cfg.Tech.BoxDepthNm
+	return geom.Box(
+		geom.V(b.Min.X, b.Min.Y, top-depth),
+		geom.V(b.Max.X, b.Max.Y, top),
+	), true
+}
+
+// neutronStrike runs one forced-interaction trial and returns the strike
+// outcome plus its probability weight. Interaction targets are the fin
+// silicon plus the substrate slab; the interaction point is sampled
+// proportionally to silicon path length, which is exact for σ·n·L ≪ 1.
+func (e *Engine) neutronStrike(rx *neutron.Reactions, src *rng.Source, energyMeV float64) (strikeOutcome, float64) {
+	ray := e.sampleRay(src, phys.Proton) // cosine-law, like any atmospheric particle
+	// Chords through each candidate fin plus the substrate slab.
+	type chord struct {
+		tIn, len float64
+	}
+	var chords []chord
+	totalLen := 0.0
+	for _, fi := range candidateFins(e, ray) {
+		tIn, tOut, ok := e.boxes[fi].Intersect(ray)
+		if ok && tOut > tIn {
+			chords = append(chords, chord{tIn: tIn, len: tOut - tIn})
+			totalLen += tOut - tIn
+		}
+	}
+	if slab, ok := e.substrateSlab(); ok {
+		if tIn, tOut, hit := slab.Intersect(ray); hit && tOut > tIn {
+			chords = append(chords, chord{tIn: tIn, len: tOut - tIn})
+			totalLen += tOut - tIn
+		}
+	}
+	if totalLen <= 0 {
+		return strikeOutcome{}, 0
+	}
+	weight := rx.InteractionProbability(energyMeV, totalLen)
+	if weight <= 0 {
+		return strikeOutcome{}, 0
+	}
+
+	// Force the interaction: pick a silicon segment proportional to chord
+	// length and a point uniform along it.
+	pick := src.Float64() * totalLen
+	var at geom.Vec3
+	for _, c := range chords {
+		if pick <= c.len {
+			at = ray.At(c.tIn + pick)
+			break
+		}
+		pick -= c.len
+	}
+
+	secs := rx.SampleInteraction(src, energyMeV)
+	if len(secs) == 0 {
+		return strikeOutcome{}, 0
+	}
+
+	// Transport every charged secondary and merge the per-cell charges.
+	fins := e.arr.Fins()
+	charges := map[int]*[sram.NumAxes]float64{}
+	for _, sec := range secs {
+		secRay := geom.Ray{Origin: at, Dir: sec.Dir}
+		secCand := candidateFins(e, secRay)
+		if len(secCand) == 0 {
+			continue
+		}
+		boxes := make([]geom.AABB, len(secCand))
+		for i, fi := range secCand {
+			boxes[i] = e.boxes[fi]
+		}
+		deps := transport.Trace(e.cfg.Transport, sec.Species, sec.EnergyMeV, secRay, boxes, src)
+		for _, d := range deps {
+			f := fins[secCand[d.Fin]]
+			bit := e.cfg.Pattern.Bit(f.Row, f.Col)
+			axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
+			if !sensitive {
+				continue
+			}
+			ci := e.arr.CellIndex(f.Row, f.Col)
+			cc, ok := charges[ci]
+			if !ok {
+				cc = new([sram.NumAxes]float64)
+				charges[ci] = cc
+			}
+			cc[axis] += phys.ChargeFromPairs(d.Pairs)
+		}
+	}
+	if len(charges) == 0 {
+		return strikeOutcome{}, weight
+	}
+	pofs := make([]float64, 0, len(charges))
+	for ci, cc := range charges {
+		if p := e.providerFor(ci).POF(*cc); p > 0 {
+			pofs = append(pofs, p)
+		}
+	}
+	return combinePOFs(pofs, len(charges)), weight
+}
+
+// NeutronFIT integrates the weighted POFs over the neutron spectrum into
+// FIT rates, exactly as Eq. 8 does for directly ionizing particles.
+func (e *Engine) NeutronFIT(spec spectra.Spectrum, rx *neutron.Reactions, bins []spectra.EnergyBin, itersPerBin int, seed uint64) (FITResult, error) {
+	if len(bins) == 0 {
+		return FITResult{}, errors.New("core: neutron FIT needs at least one energy bin")
+	}
+	if itersPerBin <= 0 {
+		return FITResult{}, errors.New("core: neutron FIT needs positive iterations per bin")
+	}
+	lx, ly := e.arr.DimsCm()
+	area := lx * ly
+	res := FITResult{
+		Species: phys.SiliconIon, // dominant secondary; neutrons are uncharged
+		Vdd:     e.cfg.Char.SupplyVoltage(),
+		Bins:    bins,
+	}
+	src := rng.New(seed)
+	for _, b := range bins {
+		pt := e.NeutronPOFAtEnergy(rx, b.Rep, itersPerBin, src.Uint64())
+		res.Points = append(res.Points, POFPoint{
+			EnergyMeV: pt.EnergyMeV,
+			Tot:       pt.Tot,
+			SEU:       pt.SEU,
+			MBU:       pt.MBU,
+			TotStdErr: pt.TotStdErr,
+			Strikes:   pt.Strikes,
+		})
+		res.TotalFIT += pt.Tot * b.IntFlux * area * fitScale
+		res.SEUFIT += pt.SEU * b.IntFlux * area * fitScale
+		res.MBUFIT += pt.MBU * b.IntFlux * area * fitScale
+	}
+	if res.SEUFIT > 0 {
+		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
+	}
+	return res, nil
+}

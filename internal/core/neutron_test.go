@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"finser/internal/finfet"
+	"finser/internal/neutron"
+	"finser/internal/spectra"
+	"finser/internal/transport"
+)
+
+func TestNeutronPOFBasics(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	rx := neutron.NewReactions()
+	pt := e.NeutronPOFAtEnergy(rx, 14, 60000, 3)
+	// The weighted POF must be positive but tiny (interaction probability
+	// ~1e-7 per crossing fin chord, and most tracks miss fins entirely).
+	if pt.Tot <= 0 {
+		t.Fatal("14 MeV neutron weighted POF is zero")
+	}
+	if pt.Tot > 1e-6 {
+		t.Fatalf("weighted POF %v implausibly large for neutrons", pt.Tot)
+	}
+	if pt.SEU < 0 || pt.MBU < 0 || pt.Tot < pt.SEU {
+		t.Fatalf("POF split inconsistent: %+v", pt)
+	}
+	// Mean interaction weight per track should be ~1e-8..1e-6 (only a
+	// fraction of tracks cross any fin at all).
+	if pt.InteractionWeight <= 0 || pt.InteractionWeight > 1e-5 {
+		t.Errorf("interaction weight = %v", pt.InteractionWeight)
+	}
+}
+
+func TestNeutronPOFDeterministic(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	rx := neutron.NewReactions()
+	a := e.NeutronPOFAtEnergy(rx, 14, 20000, 9)
+	b := e.NeutronPOFAtEnergy(rx, 14, 20000, 9)
+	if a.Tot != b.Tot || a.MBU != b.MBU {
+		t.Error("neutron POF not deterministic for equal seeds")
+	}
+}
+
+func TestNeutronEnergyDependence(t *testing.T) {
+	// Higher-energy neutrons produce harder, longer-range secondaries, so
+	// the POF *per interaction* (weighted POF over mean interaction weight)
+	// must grow with energy, even though the total cross-section falls.
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	rx := neutron.NewReactions()
+	low := e.NeutronPOFAtEnergy(rx, 1, 80000, 5)
+	high := e.NeutronPOFAtEnergy(rx, 14, 80000, 5)
+	if low.InteractionWeight <= 0 || high.InteractionWeight <= 0 {
+		t.Fatal("zero interaction weights")
+	}
+	condLow := low.Tot / low.InteractionWeight
+	condHigh := high.Tot / high.InteractionWeight
+	if condHigh <= condLow {
+		t.Errorf("per-interaction POF at 14 MeV (%v) not above 1 MeV (%v)", condHigh, condLow)
+	}
+}
+
+func TestNeutronFIT(t *testing.T) {
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	rx := neutron.NewReactions()
+	spec, err := neutron.NewSeaLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := spectra.Bins(spec, 2, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.NeutronFIT(spec, rx, bins, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFIT <= 0 {
+		t.Fatal("neutron FIT is zero")
+	}
+	if math.Abs(res.TotalFIT-(res.SEUFIT+res.MBUFIT))/res.TotalFIT > 1e-9 {
+		t.Error("neutron FIT split inconsistent")
+	}
+	if len(res.Points) != len(bins) {
+		t.Errorf("points = %d", len(res.Points))
+	}
+	// Validation errors.
+	if _, err := e.NeutronFIT(spec, rx, nil, 10, 1); err == nil {
+		t.Error("empty bins accepted")
+	}
+	if _, err := e.NeutronFIT(spec, rx, bins, 0, 1); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestNeutronVsAlphaMagnitude(t *testing.T) {
+	// Sea-level neutron SER of SRAM is typically the same order as (or
+	// larger than) the alpha SER — sanity-check we are not off by orders of
+	// magnitude in either direction (accept a wide band: two decades).
+	ch, _, _ := fixtures(t)
+	e := engineWith(t, ch)
+	rx := neutron.NewReactions()
+	nSpec, _ := neutron.NewSeaLevel(1)
+	nBins, _ := spectra.Bins(nSpec, 2, 1000, 8)
+	nRes, err := e.NeutronFIT(nSpec, rx, nBins, 40000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSpec, _ := spectra.NewAlphaEmission(spectra.DefaultAlphaRate)
+	aBins, _ := spectra.Bins(aSpec, 0.5, 10, 8)
+	aRes, err := e.FIT(aSpec, aBins, 20000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := nRes.TotalFIT / aRes.TotalFIT
+	if ratio < 1e-2 || ratio > 1e2 {
+		t.Errorf("neutron/alpha FIT ratio = %v, want within two decades", ratio)
+	}
+}
+
+func TestNeutronMBUOccurs(t *testing.T) {
+	// Hard recoils are densely ionizing and long enough to cross cells:
+	// MBUs must appear at high neutron energy.
+	tech := finfet.Default14nmSOI()
+	ch, _, _ := fixtures(t)
+	e, err := New(Config{
+		Tech: tech, Rows: 9, Cols: 9, Char: ch,
+		Transport: transport.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := neutron.NewReactions()
+	pt := e.NeutronPOFAtEnergy(rx, 100, 150000, 13)
+	if pt.Tot <= 0 {
+		t.Skip("no interactions sampled at this budget")
+	}
+	if pt.MBU <= 0 {
+		t.Error("no neutron MBU at 100 MeV")
+	}
+}

@@ -1,0 +1,424 @@
+// Package deck reads and writes a SPICE-netlist subset, bridging the
+// library's circuit solver to the format cell designers actually exchange.
+// A deck parsed here builds directly into a circuit.Circuit with the
+// technology card supplying the FinFET model parameters — "bring your own
+// cell" for the characterization flow.
+//
+// Supported cards (case-insensitive, '*' comments, '+' continuations):
+//
+//	Rname n1 n2 value            resistor
+//	Cname n1 n2 value            capacitor
+//	Vname n+ n- value            DC voltage source
+//	Vname n+ n- PULSE(v1 v2 td tr tf pw)
+//	Iname n+ n- value            DC current source (n+ → n-)
+//	Iname n+ n- PULSE(i1 i2 td tr tf pw)
+//	Mname d g s model [nfins=N] [dvth=V]   FinFET; model is nfet or pfet
+//	.title ...   .end            structural cards (others are ignored)
+//
+// Values accept the usual engineering suffixes (f p n u m k meg g t).
+package deck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"finser/internal/circuit"
+	"finser/internal/finfet"
+)
+
+// CardKind identifies the element type of a card.
+type CardKind int
+
+const (
+	// CardResistor is an R element.
+	CardResistor CardKind = iota
+	// CardCapacitor is a C element.
+	CardCapacitor
+	// CardVSource is a V element.
+	CardVSource
+	// CardISource is an I element.
+	CardISource
+	// CardFinFET is an M element.
+	CardFinFET
+)
+
+// Pulse mirrors the SPICE PULSE() source specification (period omitted:
+// single-shot pulses are what strike studies need).
+type Pulse struct {
+	V1, V2            float64 // initial and pulsed values
+	Delay, Rise, Fall float64 // seconds
+	Width             float64 // seconds
+}
+
+// Card is one parsed element line.
+type Card struct {
+	Kind   CardKind
+	Name   string
+	Nodes  []string
+	Value  float64 // for R/C and DC V/I
+	Pulse  *Pulse  // for PULSE V/I
+	Model  string  // for M: "nfet" or "pfet"
+	Params map[string]float64
+}
+
+// Deck is a parsed netlist.
+type Deck struct {
+	Title string
+	Cards []Card
+}
+
+// ParseValue parses a SPICE number with engineering suffix.
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("deck: empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(ls, "meg"):
+		mult, ls = 1e6, strings.TrimSuffix(ls, "meg")
+	case strings.HasSuffix(ls, "t"):
+		mult, ls = 1e12, strings.TrimSuffix(ls, "t")
+	case strings.HasSuffix(ls, "g"):
+		mult, ls = 1e9, strings.TrimSuffix(ls, "g")
+	case strings.HasSuffix(ls, "k"):
+		mult, ls = 1e3, strings.TrimSuffix(ls, "k")
+	case strings.HasSuffix(ls, "m"):
+		mult, ls = 1e-3, strings.TrimSuffix(ls, "m")
+	case strings.HasSuffix(ls, "u"):
+		mult, ls = 1e-6, strings.TrimSuffix(ls, "u")
+	case strings.HasSuffix(ls, "n"):
+		mult, ls = 1e-9, strings.TrimSuffix(ls, "n")
+	case strings.HasSuffix(ls, "p"):
+		mult, ls = 1e-12, strings.TrimSuffix(ls, "p")
+	case strings.HasSuffix(ls, "f"):
+		mult, ls = 1e-15, strings.TrimSuffix(ls, "f")
+	}
+	v, err := strconv.ParseFloat(ls, 64)
+	if err != nil {
+		return 0, fmt.Errorf("deck: bad value %q", s)
+	}
+	return v * mult, nil
+}
+
+// FormatValue renders a value with the closest engineering suffix.
+func FormatValue(v float64) string {
+	abs := math.Abs(v)
+	type unit struct {
+		scale float64
+		sfx   string
+	}
+	units := []unit{
+		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	}
+	if abs == 0 {
+		return "0"
+	}
+	for _, u := range units {
+		if abs >= u.scale {
+			return trimFloat(v/u.scale) + u.sfx
+		}
+	}
+	// Below a femto-unit: express in femto anyway (common for charge).
+	return trimFloat(v/1e-15) + "f"
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Parse reads a deck. Continuation lines ('+') are folded; '*' comments and
+// unsupported dot-cards are skipped; .end stops parsing.
+func Parse(r io.Reader) (*Deck, error) {
+	sc := bufio.NewScanner(r)
+	var logical []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "+") {
+			if len(logical) == 0 {
+				return nil, fmt.Errorf("deck: line %d: continuation with no previous card", lineNo)
+			}
+			logical[len(logical)-1] += " " + strings.TrimPrefix(trimmed, "+")
+			continue
+		}
+		logical = append(logical, trimmed)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("deck: read: %w", err)
+	}
+
+	d := &Deck{}
+	for _, line := range logical {
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, ".title"):
+			d.Title = strings.TrimSpace(line[len(".title"):])
+			continue
+		case strings.HasPrefix(lower, ".end"):
+			return d, nil
+		case strings.HasPrefix(lower, "."):
+			continue // other dot-cards ignored
+		}
+		card, err := parseCard(line)
+		if err != nil {
+			return nil, err
+		}
+		d.Cards = append(d.Cards, card)
+	}
+	return d, nil
+}
+
+func parseCard(line string) (Card, error) {
+	fields := tokenize(line)
+	if len(fields) < 3 {
+		return Card{}, fmt.Errorf("deck: short card %q", line)
+	}
+	name := fields[0]
+	switch strings.ToLower(name[:1]) {
+	case "r", "c":
+		if len(fields) != 4 {
+			return Card{}, fmt.Errorf("deck: %s needs 2 nodes and a value", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+		}
+		kind := CardResistor
+		if strings.EqualFold(name[:1], "c") {
+			kind = CardCapacitor
+		}
+		return Card{Kind: kind, Name: name, Nodes: fields[1:3], Value: v}, nil
+	case "v", "i":
+		kind := CardVSource
+		if strings.EqualFold(name[:1], "i") {
+			kind = CardISource
+		}
+		if len(fields) < 4 {
+			return Card{}, fmt.Errorf("deck: %s needs 2 nodes and a value", name)
+		}
+		rest := strings.Join(fields[3:], " ")
+		if strings.HasPrefix(strings.ToLower(rest), "pulse") {
+			p, err := parsePulse(rest)
+			if err != nil {
+				return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+			}
+			return Card{Kind: kind, Name: name, Nodes: fields[1:3], Pulse: &p}, nil
+		}
+		if len(fields) != 4 {
+			return Card{}, fmt.Errorf("deck: %s has trailing fields", name)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+		}
+		return Card{Kind: kind, Name: name, Nodes: fields[1:3], Value: v}, nil
+	case "m":
+		if len(fields) < 5 {
+			return Card{}, fmt.Errorf("deck: %s needs d g s and a model", name)
+		}
+		card := Card{Kind: CardFinFET, Name: name, Nodes: fields[1:4],
+			Model: strings.ToLower(fields[4]), Params: map[string]float64{}}
+		if card.Model != "nfet" && card.Model != "pfet" {
+			return Card{}, fmt.Errorf("deck: %s: unknown model %q (want nfet|pfet)", name, fields[4])
+		}
+		for _, f := range fields[5:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return Card{}, fmt.Errorf("deck: %s: bad parameter %q", name, f)
+			}
+			val, err := ParseValue(v)
+			if err != nil {
+				return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+			}
+			card.Params[strings.ToLower(k)] = val
+		}
+		return card, nil
+	default:
+		return Card{}, fmt.Errorf("deck: unsupported element %q", name)
+	}
+}
+
+// tokenize splits on whitespace but keeps PULSE(...) groups intact.
+func tokenize(line string) []string {
+	line = strings.ReplaceAll(line, "(", " ( ")
+	line = strings.ReplaceAll(line, ")", " ) ")
+	raw := strings.Fields(line)
+	// Re-join pulse groups: PULSE ( a b c ) → "pulse(a b c)".
+	var out []string
+	for i := 0; i < len(raw); i++ {
+		if i+1 < len(raw) && raw[i+1] == "(" {
+			j := i + 2
+			var args []string
+			for j < len(raw) && raw[j] != ")" {
+				args = append(args, raw[j])
+				j++
+			}
+			out = append(out, raw[i]+"("+strings.Join(args, " ")+")")
+			i = j
+			continue
+		}
+		out = append(out, raw[i])
+	}
+	return out
+}
+
+func parsePulse(s string) (Pulse, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return Pulse{}, fmt.Errorf("malformed PULSE %q", s)
+	}
+	args := strings.Fields(s[open+1 : close])
+	if len(args) != 6 {
+		return Pulse{}, fmt.Errorf("PULSE needs 6 arguments (v1 v2 td tr tf pw), got %d", len(args))
+	}
+	vals := make([]float64, 6)
+	for i, a := range args {
+		v, err := ParseValue(a)
+		if err != nil {
+			return Pulse{}, err
+		}
+		vals[i] = v
+	}
+	return Pulse{V1: vals[0], V2: vals[1], Delay: vals[2], Rise: vals[3], Fall: vals[4], Width: vals[5]}, nil
+}
+
+// Waveform converts the pulse to a PWL source waveform.
+func (p Pulse) Waveform() circuit.Waveform {
+	t0 := p.Delay
+	return circuit.PWL{
+		Times:  []float64{t0, t0 + p.Rise, t0 + p.Rise + p.Width, t0 + p.Rise + p.Width + p.Fall},
+		Values: []float64{p.V1, p.V2, p.V2, p.V1},
+	}
+}
+
+// Build instantiates the deck on a fresh circuit. The technology card
+// supplies FinFET model parameters; M-card params nfins and dvth override
+// fin count and shift the threshold. It returns the circuit and the
+// name → node mapping.
+func (d *Deck) Build(tech finfet.Technology) (*circuit.Circuit, map[string]circuit.Node, error) {
+	c := circuit.New()
+	nodes := map[string]circuit.Node{}
+	get := func(name string) circuit.Node {
+		n := c.Node(strings.ToLower(name))
+		nodes[strings.ToLower(name)] = n
+		return n
+	}
+	for _, card := range d.Cards {
+		switch card.Kind {
+		case CardResistor:
+			if card.Value <= 0 {
+				return nil, nil, fmt.Errorf("deck: %s: non-positive resistance", card.Name)
+			}
+			c.AddResistor(card.Name, get(card.Nodes[0]), get(card.Nodes[1]), card.Value)
+		case CardCapacitor:
+			if card.Value <= 0 {
+				return nil, nil, fmt.Errorf("deck: %s: non-positive capacitance", card.Name)
+			}
+			c.AddCapacitor(card.Name, get(card.Nodes[0]), get(card.Nodes[1]), card.Value)
+		case CardVSource:
+			w := waveformFor(card)
+			c.AddVSource(card.Name, get(card.Nodes[0]), get(card.Nodes[1]), w)
+		case CardISource:
+			w := waveformFor(card)
+			c.AddISource(card.Name, get(card.Nodes[0]), get(card.Nodes[1]), w)
+		case CardFinFET:
+			pol := finfet.NChannel
+			if card.Model == "pfet" {
+				pol = finfet.PChannel
+			}
+			nfins := 1
+			if v, ok := card.Params["nfins"]; ok {
+				nfins = int(v)
+			}
+			p := finfet.ParamsFor(tech, pol, nfins)
+			if dv, ok := card.Params["dvth"]; ok {
+				p.Vth += dv
+			}
+			c.AddDevice(finfet.NewTransistor(card.Name, p,
+				get(card.Nodes[0]), get(card.Nodes[1]), get(card.Nodes[2])))
+		default:
+			return nil, nil, fmt.Errorf("deck: unknown card kind %d", card.Kind)
+		}
+	}
+	return c, nodes, nil
+}
+
+func waveformFor(card Card) circuit.Waveform {
+	if card.Pulse != nil {
+		return card.Pulse.Waveform()
+	}
+	return circuit.DC(card.Value)
+}
+
+// Write serializes the deck in canonical form.
+func (d *Deck) Write(w io.Writer) error {
+	var sb strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&sb, ".title %s\n", d.Title)
+	}
+	for _, card := range d.Cards {
+		sb.WriteString(card.Name)
+		for _, n := range card.Nodes {
+			sb.WriteString(" " + n)
+		}
+		switch {
+		case card.Kind == CardFinFET:
+			sb.WriteString(" " + card.Model)
+			keys := make([]string, 0, len(card.Params))
+			for k := range card.Params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%s", k, FormatValue(card.Params[k]))
+			}
+		case card.Pulse != nil:
+			p := card.Pulse
+			fmt.Fprintf(&sb, " PULSE(%s %s %s %s %s %s)",
+				FormatValue(p.V1), FormatValue(p.V2), FormatValue(p.Delay),
+				FormatValue(p.Rise), FormatValue(p.Fall), FormatValue(p.Width))
+		default:
+			sb.WriteString(" " + FormatValue(card.Value))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(".end\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SixTCellDeck emits the library's hold-mode 6T cell as a deck — the
+// writer-side counterpart of Parse, and a template users can edit.
+func SixTCellDeck(tech finfet.Technology, vdd float64) *Deck {
+	v := FormatValue(vdd)
+	return &Deck{
+		Title: fmt.Sprintf("6T SRAM cell, %s, vdd=%s, hold mode", tech.Name, v),
+		Cards: []Card{
+			{Kind: CardVSource, Name: "VDD", Nodes: []string{"vdd", "0"}, Value: vdd},
+			{Kind: CardVSource, Name: "VBL", Nodes: []string{"bl", "0"}, Value: vdd},
+			{Kind: CardVSource, Name: "VBLB", Nodes: []string{"blb", "0"}, Value: vdd},
+			{Kind: CardVSource, Name: "VWL", Nodes: []string{"wl", "0"}, Value: 0},
+			{Kind: CardFinFET, Name: "MPUL", Nodes: []string{"q", "qb", "vdd"}, Model: "pfet", Params: map[string]float64{}},
+			{Kind: CardFinFET, Name: "MPDL", Nodes: []string{"q", "qb", "0"}, Model: "nfet", Params: map[string]float64{}},
+			{Kind: CardFinFET, Name: "MPUR", Nodes: []string{"qb", "q", "vdd"}, Model: "pfet", Params: map[string]float64{}},
+			{Kind: CardFinFET, Name: "MPDR", Nodes: []string{"qb", "q", "0"}, Model: "nfet", Params: map[string]float64{}},
+			{Kind: CardFinFET, Name: "MPGL", Nodes: []string{"bl", "wl", "q"}, Model: "nfet", Params: map[string]float64{}},
+			{Kind: CardFinFET, Name: "MPGR", Nodes: []string{"blb", "wl", "qb"}, Model: "nfet", Params: map[string]float64{}},
+			{Kind: CardCapacitor, Name: "CQ", Nodes: []string{"q", "0"}, Value: tech.NodeCapF},
+			{Kind: CardCapacitor, Name: "CQB", Nodes: []string{"qb", "0"}, Value: tech.NodeCapF},
+		},
+	}
+}

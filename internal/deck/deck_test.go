@@ -1,0 +1,252 @@
+package deck
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"finser/internal/circuit"
+	"finser/internal/finfet"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1k", 1e3}, {"2.5meg", 2.5e6}, {"3g", 3e9}, {"1t", 1e12},
+		{"10m", 1e-2}, {"4u", 4e-6}, {"7n", 7e-9}, {"2p", 2e-12}, {"0.1f", 1e-16},
+		{"42", 42}, {"-3.5k", -3500}, {"1e-12", 1e-12}, {" 5 ", 5},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x2", "k"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatValueRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1e3, 2.5e6, 1e-15, 4.7e-6, 42, -3500, 8e-17} {
+		s := FormatValue(v)
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("FormatValue(%v) = %q unparseable: %v", v, s, err)
+		}
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("zero round-trip = %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/math.Abs(v) > 1e-5 {
+			t.Errorf("round trip %v → %q → %v", v, s, got)
+		}
+	}
+}
+
+const dividerDeck = `
+* a simple divider
+.title divider
+V1 in 0 1
+R1 in mid 1k
+R2 mid 0 3k
+.end
+`
+
+func TestParseAndBuildDivider(t *testing.T) {
+	d, err := Parse(strings.NewReader(dividerDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "divider" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if len(d.Cards) != 3 {
+		t.Fatalf("cards = %d", len(d.Cards))
+	}
+	c, nodes, err := d.Build(finfet.Default14nmSOI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := c.OperatingPoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol[nodes["mid"]]; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("divider mid = %v, want 0.75", got)
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	src := `
+* leading comment
+R1 a
++ b
++ 2k
+`
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cards) != 1 || d.Cards[0].Value != 2000 {
+		t.Fatalf("continuation parse wrong: %+v", d.Cards)
+	}
+	if _, err := Parse(strings.NewReader("+ orphan")); err == nil {
+		t.Error("orphan continuation accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b",              // missing value
+		"R1 a b 1k extra",     // extra field
+		"X1 a b 1k",           // unknown element
+		"M1 d g nfet",         // missing node
+		"M1 d g s badmod",     // unknown model
+		"M1 d g s nfet oops",  // malformed param
+		"V1 a b PULSE(1 2 3)", // short pulse
+		"C1 a b zz",           // bad value
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParsePulseSource(t *testing.T) {
+	src := "I1 0 out PULSE(0 1m 1p 0.1p 0.1p 2p)"
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := d.Cards[0]
+	if card.Pulse == nil {
+		t.Fatal("pulse not parsed")
+	}
+	p := card.Pulse
+	if p.V2 != 1e-3 || p.Delay != 1e-12 || p.Width != 2e-12 {
+		t.Fatalf("pulse = %+v", p)
+	}
+	w := p.Waveform()
+	if w.Value(0) != 0 {
+		t.Error("pulse should be at V1 before delay")
+	}
+	if got := w.Value(2e-12); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("pulse plateau = %v", got)
+	}
+	if w.Value(5e-12) != 0 {
+		t.Error("pulse should fall back to V1")
+	}
+}
+
+func TestBuildRejectsBadValues(t *testing.T) {
+	for _, src := range []string{"R1 a b -5", "C1 a b 0"} {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			// R1 a b -5 parses; build must reject. C1 a b 0 too.
+			t.Fatalf("parse of %q failed: %v", src, err)
+		}
+		if _, _, err := d.Build(finfet.Default14nmSOI()); err == nil {
+			t.Errorf("build accepted %q", src)
+		}
+	}
+}
+
+func TestSixTCellDeckIsBistable(t *testing.T) {
+	tech := finfet.Default14nmSOI()
+	d := SixTCellDeck(tech, 0.8)
+	c, nodes, err := d.Build(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := c.OperatingPoint(map[circuit.Node]float64{
+		nodes["q"]:   0,
+		nodes["qb"]:  0.8,
+		nodes["vdd"]: 0.8,
+		nodes["bl"]:  0.8,
+		nodes["blb"]: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol[nodes["q"]] > 0.05 || sol[nodes["qb"]] < 0.75 {
+		t.Errorf("deck-built cell not holding: q=%v qb=%v", sol[nodes["q"]], sol[nodes["qb"]])
+	}
+	// And the opposite state as well (bistability via nodeset).
+	sol2, err := c.OperatingPoint(map[circuit.Node]float64{
+		nodes["q"]:   0.8,
+		nodes["qb"]:  0,
+		nodes["vdd"]: 0.8,
+		nodes["bl"]:  0.8,
+		nodes["blb"]: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2[nodes["q"]] < 0.75 || sol2[nodes["qb"]] > 0.05 {
+		t.Errorf("mirror state not stable: q=%v qb=%v", sol2[nodes["q"]], sol2[nodes["qb"]])
+	}
+}
+
+func TestDeckWriteParseRoundTrip(t *testing.T) {
+	tech := finfet.Default14nmSOI()
+	d := SixTCellDeck(tech, 0.8)
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\ndeck:\n%s", err, buf.String())
+	}
+	if got.Title != d.Title {
+		t.Errorf("title round trip: %q vs %q", got.Title, d.Title)
+	}
+	if len(got.Cards) != len(d.Cards) {
+		t.Fatalf("card count %d vs %d", len(got.Cards), len(d.Cards))
+	}
+	for i := range d.Cards {
+		a, b := d.Cards[i], got.Cards[i]
+		if a.Kind != b.Kind || !strings.EqualFold(a.Name, b.Name) || a.Model != b.Model {
+			t.Errorf("card %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	// The round-tripped deck still builds and holds state.
+	c, nodes, err := got.Build(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OperatingPoint(map[circuit.Node]float64{nodes["qb"]: 0.8, nodes["vdd"]: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinFETParams(t *testing.T) {
+	src := "M1 d g s nfet nfins=2 dvth=30m"
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := d.Cards[0]
+	if card.Params["nfins"] != 2 {
+		t.Errorf("nfins = %v", card.Params["nfins"])
+	}
+	if math.Abs(card.Params["dvth"]-0.03) > 1e-12 {
+		t.Errorf("dvth = %v", card.Params["dvth"])
+	}
+	if _, _, err := d.Build(finfet.Default14nmSOI()); err != nil {
+		t.Fatal(err)
+	}
+}

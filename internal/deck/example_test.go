@@ -1,0 +1,49 @@
+package deck_test
+
+import (
+	"fmt"
+	"strings"
+
+	"finser/internal/deck"
+	"finser/internal/finfet"
+)
+
+func ExampleParse() {
+	src := `
+* inverter driving a load
+.title inverter
+VDD vdd 0 0.8
+VIN in  0 0
+MP  out in vdd pfet
+MN  out in 0   nfet
+CL  out 0  0.2f
+.end
+`
+	d, err := deck.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	c, nodes, err := d.Build(finfet.Default14nmSOI())
+	if err != nil {
+		panic(err)
+	}
+	sol, err := c.OperatingPoint(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("title: %s\n", d.Title)
+	fmt.Printf("V(out) with input low: %.2f V\n", sol[nodes["out"]])
+	// Output:
+	// title: inverter
+	// V(out) with input low: 0.80 V
+}
+
+func ExampleFormatValue() {
+	fmt.Println(deck.FormatValue(1e3))
+	fmt.Println(deck.FormatValue(1.2e-16))
+	fmt.Println(deck.FormatValue(2.5e6))
+	// Output:
+	// 1k
+	// 0.12f
+	// 2.5meg
+}

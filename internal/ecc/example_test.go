@@ -1,0 +1,29 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"finser/internal/core"
+	"finser/internal/ecc"
+)
+
+func ExampleAnalyze() {
+	// An MBU population dominated by adjacent-column pairs.
+	rep := core.MBUReport{PairWeights: map[core.PairKey]float64{
+		{DRow: 0, DCol: 1}: 0.70, // adjacent columns
+		{DRow: 0, DCol: 2}: 0.20,
+		{DRow: 0, DCol: 4}: 0.10, // reaches across a 4-way interleave
+	}}
+	for _, d := range []int{1, 2, 4} {
+		a, err := ecc.Analyze(rep, ecc.Scheme{Interleave: d, SameRowOnly: true})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("interleave %d: %.0f%% of MBU pairs defeat SEC-DED\n",
+			d, 100*a.UncorrectableShare)
+	}
+	// Output:
+	// interleave 1: 100% of MBU pairs defeat SEC-DED
+	// interleave 2: 30% of MBU pairs defeat SEC-DED
+	// interleave 4: 10% of MBU pairs defeat SEC-DED
+}

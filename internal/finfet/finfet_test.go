@@ -1,0 +1,232 @@
+package finfet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finser/internal/circuit"
+)
+
+func nparams() Params { return ParamsFor(Default14nmSOI(), NChannel, 1) }
+func pparams() Params { return ParamsFor(Default14nmSOI(), PChannel, 1) }
+
+func TestPolarityString(t *testing.T) {
+	if NChannel.String() != "nfet" || PChannel.String() != "pfet" {
+		t.Error("polarity names wrong")
+	}
+}
+
+func TestNMOSRegions(t *testing.T) {
+	p := nparams()
+	// Off: Vgs = 0 → leakage only.
+	off := DrainCurrent(p, 0, 0.8, 0)
+	if off <= 0 || off > 1e-9 {
+		t.Errorf("off-state current = %v, want small positive leakage", off)
+	}
+	// On: Vgs = Vds = 0.8 → tens of µA.
+	on := DrainCurrent(p, 0.8, 0.8, 0)
+	if on < 10e-6 || on > 200e-6 {
+		t.Errorf("on current = %v A, want ~50 µA", on)
+	}
+	if on/off < 1e3 {
+		t.Errorf("on/off ratio = %v, want > 1e3", on/off)
+	}
+}
+
+func TestNMOSSubthresholdSlope(t *testing.T) {
+	p := nparams()
+	// In subthreshold, Id should change ~10× per n·φt·ln10 ≈ 68.5 mV.
+	i1 := DrainCurrent(p, 0.10, 0.8, 0)
+	i2 := DrainCurrent(p, 0.10+p.N*ThermalVoltage*math.Ln10, 0.8, 0)
+	ratio := i2 / i1
+	if ratio < 8 || ratio > 12 {
+		t.Errorf("subthreshold decade ratio = %v, want ≈ 10", ratio)
+	}
+}
+
+func TestNMOSSaturation(t *testing.T) {
+	p := nparams()
+	// Beyond Vdsat, current grows only via λ.
+	iA := DrainCurrent(p, 0.8, 0.6, 0)
+	iB := DrainCurrent(p, 0.8, 0.8, 0)
+	if iB <= iA {
+		t.Error("channel-length modulation should keep dId/dVds > 0")
+	}
+	if (iB-iA)/iA > 0.1 {
+		t.Errorf("saturation slope too steep: %v", (iB-iA)/iA)
+	}
+	// Triode: strong Vds dependence at small Vds.
+	iT1 := DrainCurrent(p, 0.8, 0.05, 0)
+	iT2 := DrainCurrent(p, 0.8, 0.10, 0)
+	if iT2 < 1.7*iT1 {
+		t.Errorf("triode region not ~linear in Vds: %v vs %v", iT1, iT2)
+	}
+}
+
+func TestIdAntisymmetry(t *testing.T) {
+	// Swapping drain and source negates the current (symmetric device).
+	p := nparams()
+	f := func(vgRaw, vaRaw, vbRaw float64) bool {
+		vg := math.Mod(math.Abs(vgRaw), 1.2)
+		va := math.Mod(math.Abs(vaRaw), 1.2)
+		vb := math.Mod(math.Abs(vbRaw), 1.2)
+		fwd := DrainCurrent(p, vg, va, vb)
+		rev := DrainCurrent(p, vg, vb, va)
+		scale := math.Max(math.Abs(fwd), 1e-15)
+		return math.Abs(fwd+rev)/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMOSMirrorsNMOS(t *testing.T) {
+	n := nparams()
+	pp := pparams()
+	pp.Ispec = n.Ispec // equal strength for the mirror check
+	// PMOS with all voltages negated must carry the negated NMOS current.
+	for _, v := range [][3]float64{{0.8, 0.8, 0}, {0.4, 0.6, 0.1}, {0, 0.8, 0}} {
+		in := DrainCurrent(n, v[0], v[1], v[2])
+		ip := DrainCurrent(pp, -v[0], -v[1], -v[2])
+		if math.Abs(in+ip) > 1e-12+1e-9*math.Abs(in) {
+			t.Errorf("mirror broken at %v: n=%v p=%v", v, in, ip)
+		}
+	}
+}
+
+func TestPMOSPullUpDirection(t *testing.T) {
+	// PMOS pull-up: source at Vdd, gate low, drain below Vdd → current must
+	// flow INTO the drain node (negative by our convention).
+	p := pparams()
+	id := DrainCurrent(p, 0, 0.2, 0.8)
+	if id >= 0 {
+		t.Errorf("conducting PMOS drain current = %v, want negative", id)
+	}
+	// Off PMOS: gate at Vdd.
+	idOff := DrainCurrent(p, 0.8, 0.2, 0.8)
+	if math.Abs(idOff) > 1e-9 {
+		t.Errorf("off PMOS current = %v", idOff)
+	}
+}
+
+func TestVthShiftWeakensDevice(t *testing.T) {
+	p := nparams()
+	strong := DrainCurrent(p, 0.8, 0.8, 0)
+	p.Vth += 0.06
+	weak := DrainCurrent(p, 0.8, 0.8, 0)
+	if weak >= strong {
+		t.Error("raising Vth should reduce on current")
+	}
+}
+
+func TestNFinsScaling(t *testing.T) {
+	p1 := nparams()
+	p2 := nparams()
+	p2.NFins = 2
+	r := DrainCurrent(p2, 0.8, 0.8, 0) / DrainCurrent(p1, 0.8, 0.8, 0)
+	if math.Abs(r-2) > 1e-9 {
+		t.Errorf("2-fin / 1-fin current = %v, want 2", r)
+	}
+	// NFins < 1 is clamped to 1.
+	p0 := nparams()
+	p0.NFins = 0
+	if DrainCurrent(p0, 0.8, 0.8, 0) != DrainCurrent(p1, 0.8, 0.8, 0) {
+		t.Error("NFins=0 should behave as 1")
+	}
+}
+
+func TestInverterVTC(t *testing.T) {
+	// Resistively-loaded checks are not enough: build a real CMOS inverter
+	// and verify rail-to-rail transfer with a transition near mid-rail.
+	tech := Default14nmSOI()
+	vdd := 0.8
+	build := func(vin float64) (float64, error) {
+		c := circuit.New()
+		in := c.Node("in")
+		out := c.Node("out")
+		vddN := c.Node("vdd")
+		c.AddVSource("vdd", vddN, circuit.Ground, circuit.DC(vdd))
+		c.AddVSource("vin", in, circuit.Ground, circuit.DC(vin))
+		c.AddDevice(NewTransistor("mp", ParamsFor(tech, PChannel, 1), out, in, vddN))
+		c.AddDevice(NewTransistor("mn", ParamsFor(tech, NChannel, 1), out, in, circuit.Ground))
+		sol, err := c.OperatingPoint(map[circuit.Node]float64{out: vdd - vin})
+		if err != nil {
+			return 0, err
+		}
+		return sol[out], nil
+	}
+	lo, err := build(vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 0.05*vdd {
+		t.Errorf("inverter output low = %v", lo)
+	}
+	if hi < 0.95*vdd {
+		t.Errorf("inverter output high = %v", hi)
+	}
+	// Monotone decreasing VTC.
+	prev := math.Inf(1)
+	for vin := 0.0; vin <= vdd+1e-9; vin += 0.05 {
+		v, err := build(vin)
+		if err != nil {
+			t.Fatalf("vin=%v: %v", vin, err)
+		}
+		if v > prev+1e-6 {
+			t.Fatalf("VTC not monotone at vin=%v", vin)
+		}
+		prev = v
+	}
+}
+
+func TestTechnologyDerived(t *testing.T) {
+	tech := Default14nmSOI()
+	// Paper §3.3: transit time > 10 fs at Vdd = 1 V for these dimensions.
+	tau := tech.TransitTime(1.0)
+	if math.Abs(tau-1e-14) > 2e-15 {
+		t.Errorf("transit time at 1 V = %v s, want ≈ 10 fs", tau)
+	}
+	// τ scales as 1/Vds.
+	if r := tech.TransitTime(0.5) / tau; math.Abs(r-2) > 1e-9 {
+		t.Errorf("transit-time scaling = %v, want 2", r)
+	}
+	if tech.FinVolumeNm3() != 10*30*20 {
+		t.Errorf("fin volume = %v", tech.FinVolumeNm3())
+	}
+	if tech.EffectiveWidthNm() != 70 {
+		t.Errorf("effective width = %v", tech.EffectiveWidthNm())
+	}
+}
+
+func TestTransitTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Vds <= 0")
+		}
+	}()
+	Default14nmSOI().TransitTime(0)
+}
+
+func TestVthSample(t *testing.T) {
+	tech := Default14nmSOI()
+	if got := tech.VthSample(0.3, 1, 0); got != 0.3 {
+		t.Errorf("zero-z sample = %v", got)
+	}
+	if got := tech.VthSample(0.3, 1, 1); math.Abs(got-(0.3+tech.SigmaVth)) > 1e-12 {
+		t.Errorf("one-sigma sample = %v", got)
+	}
+	// Multi-fin averaging shrinks sigma by √n.
+	got := tech.VthSample(0.3, 4, 1)
+	if math.Abs(got-(0.3+tech.SigmaVth/2)) > 1e-12 {
+		t.Errorf("4-fin sample = %v, want nominal + σ/2", got)
+	}
+	// nFins < 1 clamps.
+	if tech.VthSample(0.3, 0, 1) != tech.VthSample(0.3, 1, 1) {
+		t.Error("nFins clamp broken")
+	}
+}

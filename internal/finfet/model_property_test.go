@@ -1,0 +1,103 @@
+package finfet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Id is monotone non-decreasing in Vgs for NMOS at fixed Vds>0.
+func TestIdMonotoneInVgs(t *testing.T) {
+	p := nparams()
+	f := func(raw1, raw2, rawD float64) bool {
+		vg1 := math.Abs(math.Mod(raw1, 1.2))
+		vg2 := math.Abs(math.Mod(raw2, 1.2))
+		vd := 0.05 + math.Abs(math.Mod(rawD, 1.0))
+		if vg1 > vg2 {
+			vg1, vg2 = vg2, vg1
+		}
+		i1 := DrainCurrent(p, vg1, vd, 0)
+		i2 := DrainCurrent(p, vg2, vd, 0)
+		return i2 >= i1-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Id is monotone non-decreasing in Vds for NMOS at fixed Vgs.
+func TestIdMonotoneInVds(t *testing.T) {
+	p := nparams()
+	f := func(rawG, raw1, raw2 float64) bool {
+		vg := math.Abs(math.Mod(rawG, 1.2))
+		vd1 := math.Abs(math.Mod(raw1, 1.2))
+		vd2 := math.Abs(math.Mod(raw2, 1.2))
+		if vd1 > vd2 {
+			vd1, vd2 = vd2, vd1
+		}
+		i1 := DrainCurrent(p, vg, vd1, 0)
+		i2 := DrainCurrent(p, vg, vd2, 0)
+		return i2 >= i1-1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the model is C¹-smooth enough for Newton — central-difference
+// derivatives computed at two nearby scales agree (no kinks).
+func TestIdSmoothness(t *testing.T) {
+	p := nparams()
+	f := func(rawG, rawD float64) bool {
+		vg := math.Abs(math.Mod(rawG, 1.2))
+		vd := math.Abs(math.Mod(rawD, 1.2))
+		d := func(h float64) float64 {
+			return (DrainCurrent(p, vg+h, vd, 0) - DrainCurrent(p, vg-h, vd, 0)) / (2 * h)
+		}
+		g1 := d(1e-6)
+		g2 := d(1e-7)
+		scale := math.Max(math.Abs(g1), 1e-12)
+		return math.Abs(g1-g2)/scale < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gm ≥ 0 over the full bias plane — NMOS current never falls as
+// the gate rises, and PMOS conduction magnitude never falls as the gate
+// drops.
+func TestTransconductanceNonNegative(t *testing.T) {
+	const h = 1e-6
+	n := nparams()
+	for vg := -0.2; vg <= 1.4; vg += 0.05 {
+		for vd := 0.0; vd <= 1.2; vd += 0.1 {
+			gm := (DrainCurrent(n, vg+h, vd, 0) - DrainCurrent(n, vg-h, vd, 0)) / (2 * h)
+			if gm < -1e-12 {
+				t.Fatalf("NMOS negative gm at vg=%v vd=%v: %v", vg, vd, gm)
+			}
+		}
+	}
+	p := pparams()
+	for vg := -0.2; vg <= 1.4; vg += 0.05 {
+		for vd := 0.0; vd <= 1.2; vd += 0.1 {
+			// PMOS: source at 1.2 V; |Id| must not increase with rising vg.
+			dmag := (math.Abs(DrainCurrent(p, vg+h, vd, 1.2)) -
+				math.Abs(DrainCurrent(p, vg-h, vd, 1.2))) / (2 * h)
+			if dmag > 1e-12 {
+				t.Fatalf("PMOS |Id| increases with gate at vg=%v vd=%v: %v", vg, vd, dmag)
+			}
+		}
+	}
+}
+
+// Zero-bias current must vanish: no spurious source at Vds = 0.
+func TestZeroBiasZeroCurrent(t *testing.T) {
+	for _, p := range []Params{nparams(), pparams()} {
+		for vg := 0.0; vg <= 1.2; vg += 0.1 {
+			if id := DrainCurrent(p, vg, 0.5, 0.5); math.Abs(id) > 1e-15 {
+				t.Fatalf("%v: Id(Vds=0) = %v at vg=%v", p.Polarity, id, vg)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package finfet provides the SOI FinFET compact device model and the
+// 14 nm-class technology parameters the flow simulates against. The I–V
+// model is EKV-style: a single smooth expression continuous from
+// subthreshold through saturation, which keeps the Newton solver robust and
+// reproduces the cell behaviours the paper's SPICE level needs — static
+// bistability, regenerative flipping, and the Vdd dependence of the
+// critical charge. Threshold-voltage process variation enters as a
+// per-transistor Vth shift sampled from a normal distribution, as in the
+// paper's 1000-sample Monte Carlo.
+package finfet
+
+import "math"
+
+// ThermalVoltage is kT/q at 300 K, in volts.
+const ThermalVoltage = 0.025852
+
+// Technology bundles the 14 nm SOI FinFET parameters used across the flow.
+// The values are documented approximations of the paper's references
+// ([28] Wang et al. 14 nm SOI 6T-SRAM study, [29] PTM); see DESIGN.md §5.
+type Technology struct {
+	Name string
+
+	// Geometry (nm).
+	FinWidthNm   float64 // fin (body) thickness — the paper's wFin
+	FinHeightNm  float64 // fin height above the BOX
+	GateLengthNm float64 // channel length — the paper's LFin
+	FinPitchNm   float64 // fin-to-fin pitch
+	GatePitchNm  float64 // contacted poly pitch
+	BoxDepthNm   float64 // buried-oxide thickness under the fins
+
+	// Electrical.
+	VddNominal float64 // nominal supply, V
+	VthN       float64 // NMOS threshold, V
+	VthP       float64 // PMOS threshold magnitude, V
+	SlopeN     float64 // subthreshold slope factor n (SS = n·φt·ln10)
+	Lambda     float64 // channel-length modulation, 1/V
+	IspecN     float64 // NMOS specific current per fin, A
+	IspecP     float64 // PMOS specific current per fin, A
+	NodeCapF   float64 // lumped storage-node capacitance, F
+
+	// Variation.
+	SigmaVth float64 // per-fin threshold-voltage standard deviation, V
+
+	// Transport.
+	ElectronMobility float64 // effective µe, cm²/(V·s), for Eq. 2's transit time
+
+	// TemperatureK is the junction temperature. Zero means 300 K.
+	TemperatureK float64
+
+	// Per-transistor fin counts for the 6T cell (0 means 1). Upsized
+	// pull-downs (FinsPD = 2) are the common read-stability variant; the
+	// layout places the extra fins at fin pitch and the compact model
+	// scales drive accordingly, keeping the two levels consistent.
+	FinsPU, FinsPD, FinsPG int
+}
+
+// PUFins returns the pull-up fin count (≥ 1).
+func (t Technology) PUFins() int { return clampFins(t.FinsPU) }
+
+// PDFins returns the pull-down fin count (≥ 1).
+func (t Technology) PDFins() int { return clampFins(t.FinsPD) }
+
+// PGFins returns the pass-gate fin count (≥ 1).
+func (t Technology) PGFins() int { return clampFins(t.FinsPG) }
+
+func clampFins(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Temperature returns the junction temperature in kelvin (300 K default).
+func (t Technology) Temperature() float64 {
+	if t.TemperatureK <= 0 {
+		return 300
+	}
+	return t.TemperatureK
+}
+
+// ThermalVoltageAt returns kT/q at the card's temperature.
+func (t Technology) ThermalVoltageAt() float64 {
+	return ThermalVoltage * t.Temperature() / 300
+}
+
+// AtTemperature returns a copy of the card adjusted to the given junction
+// temperature with first-order silicon scaling: threshold voltages drop
+// ~0.8 mV/K, and mobility (hence specific current and the Eq. 2 transit
+// time) follows the phonon-limited (T/300)^-1.5 law. Hot silicon is both
+// weaker and slower — and, because the thermal voltage grows, leakier.
+func (t Technology) AtTemperature(tempK float64) Technology {
+	if tempK <= 0 {
+		tempK = 300
+	}
+	out := t
+	out.TemperatureK = tempK
+	dT := tempK - 300
+	const vthTempCo = -0.0008 // V/K
+	out.VthN = t.VthN + vthTempCo*dT
+	out.VthP = t.VthP + vthTempCo*dT
+	mobScale := math.Pow(tempK/300, -1.5)
+	out.ElectronMobility = t.ElectronMobility * mobScale
+	out.IspecN = t.IspecN * mobScale
+	out.IspecP = t.IspecP * mobScale
+	return out
+}
+
+// Default14nmSOI returns the technology card used throughout the
+// reproduction.
+func Default14nmSOI() Technology {
+	return Technology{
+		Name:             "soi-finfet-14nm",
+		FinWidthNm:       10,
+		FinHeightNm:      30,
+		GateLengthNm:     20,
+		FinPitchNm:       48,
+		GatePitchNm:      90,
+		BoxDepthNm:       25,
+		VddNominal:       0.8,
+		VthN:             0.30,
+		VthP:             0.30,
+		SlopeN:           1.15,
+		Lambda:           0.08,
+		IspecN:           6.0e-7,
+		IspecP:           3.6e-7,
+		NodeCapF:         1.2e-16, // 0.12 fF
+		SigmaVth:         0.045,
+		ElectronMobility: 400,
+	}
+}
+
+// TransitTime returns the paper's Eq. 2: τ = L²fin/(µe·Vds), the average
+// time for an electron to drift from source to drain, in seconds. This is
+// the width of the rectangular radiation current pulse.
+func (t Technology) TransitTime(vds float64) float64 {
+	if vds <= 0 {
+		panic("finfet: transit time needs positive Vds")
+	}
+	lCm := t.GateLengthNm * 1e-7
+	return lCm * lCm / (t.ElectronMobility * vds)
+}
+
+// FinVolumeNm3 returns the silicon volume of a single fin body in nm³.
+func (t Technology) FinVolumeNm3() float64 {
+	return t.FinWidthNm * t.FinHeightNm * t.GateLengthNm
+}
+
+// EffectiveWidthNm returns the electrical width of one fin:
+// two sidewalls plus the top.
+func (t Technology) EffectiveWidthNm() float64 {
+	return 2*t.FinHeightNm + t.FinWidthNm
+}
+
+// VthSample draws an effective threshold voltage for a transistor with
+// nFins fins given a standard-normal variate z. Fins average, so the
+// per-transistor sigma shrinks with √nFins.
+func (t Technology) VthSample(nominal float64, nFins int, z float64) float64 {
+	if nFins < 1 {
+		nFins = 1
+	}
+	return nominal + t.SigmaVth/math.Sqrt(float64(nFins))*z
+}

@@ -1,0 +1,67 @@
+package finfet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTemperatureDefaults(t *testing.T) {
+	tech := Default14nmSOI()
+	if tech.Temperature() != 300 {
+		t.Errorf("default temperature = %v", tech.Temperature())
+	}
+	if math.Abs(tech.ThermalVoltageAt()-ThermalVoltage) > 1e-12 {
+		t.Errorf("default φt = %v", tech.ThermalVoltageAt())
+	}
+	// AtTemperature(0) clamps to 300 K and is a no-op on electricals.
+	same := tech.AtTemperature(0)
+	if same.VthN != tech.VthN || same.IspecN != tech.IspecN {
+		t.Error("AtTemperature(0) should not change the card")
+	}
+}
+
+func TestAtTemperatureScaling(t *testing.T) {
+	cold := Default14nmSOI()
+	hot := cold.AtTemperature(375) // +75 K
+	if hot.Temperature() != 375 {
+		t.Errorf("temperature = %v", hot.Temperature())
+	}
+	// Vth drops 0.8 mV/K.
+	if want := cold.VthN - 0.06; math.Abs(hot.VthN-want) > 1e-9 {
+		t.Errorf("hot VthN = %v, want %v", hot.VthN, want)
+	}
+	// Mobility and specific currents follow (T/300)^-1.5.
+	scale := math.Pow(375.0/300, -1.5)
+	if math.Abs(hot.ElectronMobility-cold.ElectronMobility*scale) > 1e-9 {
+		t.Errorf("hot mobility = %v", hot.ElectronMobility)
+	}
+	if math.Abs(hot.IspecN-cold.IspecN*scale)/cold.IspecN > 1e-12 {
+		t.Errorf("hot IspecN = %v", hot.IspecN)
+	}
+	// Thermal voltage grows linearly.
+	if want := ThermalVoltage * 375 / 300; math.Abs(hot.ThermalVoltageAt()-want) > 1e-12 {
+		t.Errorf("hot φt = %v", hot.ThermalVoltageAt())
+	}
+	// Slower carriers ⇒ longer transit time (wider radiation pulse).
+	if hot.TransitTime(0.8) <= cold.TransitTime(0.8) {
+		t.Error("hot transit time should be longer")
+	}
+}
+
+func TestTemperatureDeviceBehaviour(t *testing.T) {
+	cold := ParamsFor(Default14nmSOI(), NChannel, 1)
+	hot := ParamsFor(Default14nmSOI().AtTemperature(400), NChannel, 1)
+	// Subthreshold leakage rises steeply with temperature (lower Vth and
+	// larger φt together).
+	leakCold := DrainCurrent(cold, 0, 0.8, 0)
+	leakHot := DrainCurrent(hot, 0, 0.8, 0)
+	if leakHot < 5*leakCold {
+		t.Errorf("hot leakage %v not ≫ cold %v", leakHot, leakCold)
+	}
+	// Strong-inversion drive drops with temperature (mobility dominates).
+	onCold := DrainCurrent(cold, 0.8, 0.8, 0)
+	onHot := DrainCurrent(hot, 0.8, 0.8, 0)
+	if onHot >= onCold {
+		t.Errorf("hot drive %v not below cold %v", onHot, onCold)
+	}
+}

@@ -1,0 +1,110 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned box with inclusive bounds Min <= Max, in nm.
+// Fins, wells, and array bounding volumes are all axis-aligned boxes in the
+// layouts this library models, so the AABB is the only solid primitive the
+// transport layer needs.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Box constructs an AABB from two opposite corners in any order.
+func Box(a, b Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// BoxAt constructs an AABB from its minimum corner and its size along each
+// axis. Sizes must be non-negative.
+func BoxAt(min Vec3, size Vec3) AABB {
+	return AABB{Min: min, Max: min.Add(size)}
+}
+
+// Size returns the box extents along each axis.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Center returns the box centroid.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Volume returns the box volume in nm³.
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Union returns the smallest AABB containing both b and c.
+func (b AABB) Union(c AABB) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, c.Min.X), math.Min(b.Min.Y, c.Min.Y), math.Min(b.Min.Z, c.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, c.Max.X), math.Max(b.Max.Y, c.Max.Y), math.Max(b.Max.Z, c.Max.Z)},
+	}
+}
+
+// Translate returns b shifted by d.
+func (b AABB) Translate(d Vec3) AABB {
+	return AABB{Min: b.Min.Add(d), Max: b.Max.Add(d)}
+}
+
+// Intersect clips the ray r against the box using the branchless slab
+// method. It returns the entry and exit parameters tIn <= tOut restricted to
+// t >= 0, and ok=false when the ray misses the box (or only touches it
+// behind the origin). A ray starting inside the box yields tIn == 0.
+func (b AABB) Intersect(r Ray) (tIn, tOut float64, ok bool) {
+	tIn, tOut = 0, math.Inf(1)
+	mins := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	maxs := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+	orig := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
+	dir := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
+	for i := 0; i < 3; i++ {
+		if dir[i] == 0 {
+			// Parallel to this slab: miss unless the origin lies within it.
+			if orig[i] < mins[i] || orig[i] > maxs[i] {
+				return 0, 0, false
+			}
+			continue
+		}
+		inv := 1 / dir[i]
+		t0 := (mins[i] - orig[i]) * inv
+		t1 := (maxs[i] - orig[i]) * inv
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tIn {
+			tIn = t0
+		}
+		if t1 < tOut {
+			tOut = t1
+		}
+		if tIn > tOut {
+			return 0, 0, false
+		}
+	}
+	if tOut < 0 {
+		return 0, 0, false
+	}
+	if tIn < 0 {
+		tIn = 0
+	}
+	return tIn, tOut, true
+}
+
+// ChordLength returns the length of the ray's chord through the box,
+// assuming r.Dir is unit length. Zero when the ray misses.
+func (b AABB) ChordLength(r Ray) float64 {
+	tIn, tOut, ok := b.Intersect(r)
+	if !ok {
+		return 0
+	}
+	return tOut - tIn
+}

@@ -1,0 +1,224 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasics(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(-4, 5, 0.5)
+	if got := a.Add(b); got != V(-3, 7, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(5, -3, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestUnitPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unit of zero vector did not panic")
+		}
+	}()
+	Vec3{}.Unit()
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsInf(scale, 0) {
+			return true
+		}
+		return almostEq(c.Dot(a)/scale/math.Max(1, c.Norm()), 0, 1e-9) &&
+			almostEq(c.Dot(b)/scale/math.Max(1, c.Norm()), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRayAt(t *testing.T) {
+	r := Ray{Origin: V(1, 1, 1), Dir: V(0, 0, 2)}
+	if got := r.At(0.5); got != V(1, 1, 2) {
+		t.Errorf("At = %v", got)
+	}
+}
+
+func TestBoxConstruction(t *testing.T) {
+	b := Box(V(2, -1, 5), V(-2, 3, 0))
+	if b.Min != V(-2, -1, 0) || b.Max != V(2, 3, 5) {
+		t.Fatalf("Box normalization wrong: %+v", b)
+	}
+	if got := b.Size(); got != V(4, 4, 5) {
+		t.Errorf("Size = %v", got)
+	}
+	if got := b.Volume(); got != 80 {
+		t.Errorf("Volume = %v", got)
+	}
+	if got := b.Center(); got != V(0, 1, 2.5) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestBoxAt(t *testing.T) {
+	b := BoxAt(V(1, 2, 3), V(10, 20, 30))
+	if b.Min != V(1, 2, 3) || b.Max != V(11, 22, 33) {
+		t.Fatalf("BoxAt wrong: %+v", b)
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	for _, tc := range []struct {
+		p    Vec3
+		want bool
+	}{
+		{V(0.5, 0.5, 0.5), true},
+		{V(0, 0, 0), true},
+		{V(1, 1, 1), true},
+		{V(1.0001, 0.5, 0.5), false},
+		{V(0.5, -0.1, 0.5), false},
+	} {
+		if got := b.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestUnionTranslate(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(2, -1, 0.5), V(3, 0, 2))
+	u := a.Union(b)
+	if u.Min != V(0, -1, 0) || u.Max != V(3, 1, 2) {
+		t.Fatalf("Union wrong: %+v", u)
+	}
+	tr := a.Translate(V(10, 0, -1))
+	if tr.Min != V(10, 0, -1) || tr.Max != V(11, 1, 0) {
+		t.Fatalf("Translate wrong: %+v", tr)
+	}
+}
+
+func TestIntersectAxisRay(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	r := Ray{Origin: V(-1, 1, 1), Dir: V(1, 0, 0)}
+	tIn, tOut, ok := b.Intersect(r)
+	if !ok || !almostEq(tIn, 1, 1e-12) || !almostEq(tOut, 3, 1e-12) {
+		t.Fatalf("Intersect = %v %v %v", tIn, tOut, ok)
+	}
+	if got := b.ChordLength(r); !almostEq(got, 2, 1e-12) {
+		t.Errorf("ChordLength = %v", got)
+	}
+}
+
+func TestIntersectMiss(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	cases := []Ray{
+		{Origin: V(-1, 2, 0.5), Dir: V(1, 0, 0)},  // passes above
+		{Origin: V(2, 0.5, 0.5), Dir: V(1, 0, 0)}, // box behind origin
+		{Origin: V(0.5, 0.5, 5), Dir: V(0, 0, 1)}, // points away
+		{Origin: V(-1, -1, -1), Dir: V(0, 0, 1)},  // parallel slab miss
+		{Origin: V(5, 5, 5), Dir: V(-1, -1, -3)},  // steep diagonal miss
+	}
+	for i, r := range cases {
+		if _, _, ok := b.Intersect(r); ok {
+			t.Errorf("case %d: expected miss for %+v", i, r)
+		}
+	}
+}
+
+func TestIntersectFromInside(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(0.5, 0.5, 0.5), Dir: V(0, 1, 0)}
+	tIn, tOut, ok := b.Intersect(r)
+	if !ok || tIn != 0 || !almostEq(tOut, 0.5, 1e-12) {
+		t.Fatalf("inside intersect = %v %v %v", tIn, tOut, ok)
+	}
+}
+
+func TestIntersectParallelInsideSlab(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(0.5, -2, 0.5), Dir: V(0, 1, 0)}
+	tIn, tOut, ok := b.Intersect(r)
+	if !ok || !almostEq(tIn, 2, 1e-12) || !almostEq(tOut, 3, 1e-12) {
+		t.Fatalf("parallel slab intersect = %v %v %v", tIn, tOut, ok)
+	}
+}
+
+// Property: for any ray hitting the box, the entry and exit points lie on
+// (or numerically near) the box boundary, and all interior samples along the
+// chord are contained in a slightly inflated box.
+func TestIntersectPointsOnBoundary(t *testing.T) {
+	b := Box(V(-3, -1, 0), V(4, 2, 7))
+	inflate := AABB{Min: b.Min.Sub(V(1e-6, 1e-6, 1e-6)), Max: b.Max.Add(V(1e-6, 1e-6, 1e-6))}
+	f := func(ox, oy, oz, dx, dy, dz float64) bool {
+		d := V(dx, dy, dz)
+		if !d.IsFinite() || d.Norm() < 1e-9 || d.Norm() > 1e150 {
+			return true
+		}
+		o := V(math.Mod(ox, 20), math.Mod(oy, 20), math.Mod(oz, 20))
+		if !o.IsFinite() {
+			return true
+		}
+		r := Ray{Origin: o, Dir: d.Unit()}
+		tIn, tOut, ok := b.Intersect(r)
+		if !ok {
+			return true
+		}
+		if tOut < tIn {
+			return false
+		}
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			p := r.At(tIn + frac*(tOut-tIn))
+			if !inflate.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chord length never exceeds the box diagonal.
+func TestChordBoundedByDiagonal(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 3, 6))
+	diag := b.Size().Norm() // 7
+	f := func(ox, oy, oz, dx, dy, dz float64) bool {
+		d := V(dx, dy, dz)
+		if !d.IsFinite() || d.Norm() < 1e-9 || d.Norm() > 1e150 {
+			return true
+		}
+		o := V(math.Mod(ox, 10), math.Mod(oy, 10), math.Mod(oz, 10))
+		if !o.IsFinite() {
+			return true
+		}
+		c := b.ChordLength(Ray{Origin: o, Dir: d.Unit()})
+		return c >= 0 && c <= diag+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

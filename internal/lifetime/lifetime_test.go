@@ -1,0 +1,135 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"finser/internal/scrub"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{Words: 100, SEURatePerHour: 1, MaxHours: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Words: 0, MaxHours: 1},
+		{Words: 1, SEURatePerHour: -1, MaxHours: 1},
+		{Words: 1, MBUSameWordProb: 2, MaxHours: 1},
+		{Words: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := Simulate(good, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestNoRadiationNoFailures(t *testing.T) {
+	res, err := Simulate(Config{Words: 100, MaxHours: 100}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.FIT != 0 {
+		t.Errorf("failures without radiation: %+v", res)
+	}
+}
+
+func TestMBUFloorDominatesWithFastScrub(t *testing.T) {
+	// With aggressive scrubbing, failures come only from same-word MBUs, so
+	// the simulated rate must approach MBURate × sameWordProb.
+	cfg := Config{
+		Words:              1 << 16,
+		SEURatePerHour:     0.01,
+		MBURatePerHour:     0.002,
+		MBUSameWordProb:    0.3,
+		ScrubIntervalHours: 1,
+		MaxHours:           1e6,
+	}
+	res, err := Simulate(cfg, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.MBURatePerHour * cfg.MBUSameWordProb
+	if res.FailureRatePerHour < want/2 || res.FailureRatePerHour > want*2 {
+		t.Errorf("rate %v, want ≈ %v", res.FailureRatePerHour, want)
+	}
+}
+
+func TestScrubbingExtendsLifetime(t *testing.T) {
+	base := Config{
+		Words:           1 << 10,
+		SEURatePerHour:  0.5,
+		MBURatePerHour:  0,
+		MBUSameWordProb: 0,
+		MaxHours:        1e5,
+	}
+	noScrub := base
+	noScrub.ScrubIntervalHours = 0
+	scrubbed := base
+	scrubbed.ScrubIntervalHours = 10
+	a, err := Simulate(noScrub, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(scrubbed, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FailureRatePerHour >= a.FailureRatePerHour {
+		t.Errorf("scrubbing did not reduce the failure rate: %v vs %v",
+			b.FailureRatePerHour, a.FailureRatePerHour)
+	}
+}
+
+func TestSimulatorMatchesAnalyticModel(t *testing.T) {
+	// The closed-form scrub model and the event simulator must agree on the
+	// accumulation-dominated regime within Monte-Carlo noise.
+	words := 1 << 12
+	seuFIT := 5e10 // deliberately hot so trials fail quickly
+	interval := 2.0
+	sc := scrub.Config{Words: words, SEUFIT: seuFIT, MBUFIT: 0, UncorrectableShare: 0}
+	analytic := sc.UncorrectableFIT(interval)
+
+	cfg := Config{
+		Words:              words,
+		SEURatePerHour:     seuFIT / 1e9,
+		ScrubIntervalHours: interval,
+		MaxHours:           1e5,
+	}
+	res, err := Simulate(cfg, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures < 100 {
+		t.Fatalf("too few failures (%d) for the comparison", res.Failures)
+	}
+	ratio := res.FIT / analytic
+	// The analytic model uses the expected-collisions linearization
+	// (counts every pair), while the simulator stops at the first failure;
+	// they agree within tens of percent in this regime.
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("simulated FIT %v vs analytic %v (ratio %v)", res.FIT, analytic, ratio)
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	cfg := Config{
+		Words:              256,
+		SEURatePerHour:     0.3,
+		ScrubIntervalHours: 5,
+		MaxHours:           1e4,
+	}
+	a, _ := Simulate(cfg, 100, 7)
+	b, _ := Simulate(cfg, 100, 7)
+	if a.Failures != b.Failures || math.Abs(a.MeanTTFHours-b.MeanTTFHours) > 1e-12 {
+		t.Error("identical seeds gave different results")
+	}
+	c, _ := Simulate(cfg, 100, 8)
+	if a.Failures == c.Failures && a.MeanTTFHours == c.MeanTTFHours {
+		t.Error("different seeds gave identical results (suspicious)")
+	}
+}

@@ -1,0 +1,160 @@
+package logic
+
+import (
+	"math"
+	"testing"
+
+	"finser/internal/finfet"
+)
+
+func tech() finfet.Technology { return finfet.Default14nmSOI() }
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(tech(), 0, 5); err == nil {
+		t.Error("zero vdd accepted")
+	}
+	if _, err := NewChain(tech(), 0.8, 1); err == nil {
+		t.Error("1-stage chain accepted")
+	}
+}
+
+func TestChainRestingState(t *testing.T) {
+	ch, err := NewChain(tech(), 0.8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternating rail levels down the chain.
+	for i, n := range ch.nodes {
+		v := ch.init[n]
+		if i%2 == 0 && v < 0.75 {
+			t.Errorf("stage %d rests at %v, want high", i, v)
+		}
+		if i%2 == 1 && v > 0.05 {
+			t.Errorf("stage %d rests at %v, want low", i, v)
+		}
+	}
+}
+
+func TestZeroChargeNoTransient(t *testing.T) {
+	ch, err := NewChain(tech(), 0.8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Inject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Swing {
+		if s > 0.01 {
+			t.Errorf("stage %d swings %v without a strike", i, s)
+		}
+	}
+	if res.Propagated {
+		t.Error("no-strike transient propagated")
+	}
+}
+
+func TestElectricalMaskingAttenuates(t *testing.T) {
+	// A sub-threshold SET must shrink stage by stage — the electrical
+	// masking mechanism of the paper's ref [15].
+	ch, err := NewChain(tech(), 0.8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := ch.PropagationThreshold(1e-18, 2e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Inject(thr * 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First stage sees a real disturbance; the far end sees almost nothing.
+	if res.Swing[0] < 0.1 {
+		t.Fatalf("first-stage swing %v too small for the test", res.Swing[0])
+	}
+	if res.Swing[5] > res.Swing[0]/3 {
+		t.Errorf("deep-stage swing %v not attenuated from %v", res.Swing[5], res.Swing[0])
+	}
+	if res.Propagated {
+		t.Error("sub-threshold SET propagated")
+	}
+}
+
+func TestLargeSETPropagatesRailToRail(t *testing.T) {
+	ch, err := NewChain(tech(), 0.8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Inject(2e-15) // 2 fC, far above threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Propagated {
+		t.Fatal("large SET did not propagate")
+	}
+	// Every stage swings substantially.
+	for i, s := range res.Swing {
+		if s < 0.3 {
+			t.Errorf("stage %d swing %v too small for a propagating SET", i, s)
+		}
+	}
+}
+
+func TestPropagationThresholdBisection(t *testing.T) {
+	ch, err := NewChain(tech(), 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := ch.PropagationThreshold(1e-18, 2e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(thr, 1) || thr <= 0 {
+		t.Fatalf("threshold = %v", thr)
+	}
+	below, err := ch.Inject(thr * 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := ch.Inject(thr * 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Propagated {
+		t.Error("below-threshold SET propagated")
+	}
+	if !above.Propagated {
+		t.Error("above-threshold SET blocked")
+	}
+	// Degenerate bracket handling.
+	if _, err := ch.PropagationThreshold(0, 1); err == nil {
+		t.Error("zero lo accepted")
+	}
+	if v, err := ch.PropagationThreshold(1e-19, 1e-18); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("unpropagatable bracket: %v, %v", v, err)
+	}
+}
+
+func TestThresholdGrowsWithVddAndDepth(t *testing.T) {
+	// Higher supply hardens the path; SET thresholds are nearly
+	// depth-independent once past a couple of stages (regeneration), but a
+	// longer chain never makes propagation easier.
+	thrAt := func(vdd float64, stages int) float64 {
+		ch, err := NewChain(tech(), vdd, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		thr, err := ch.PropagationThreshold(1e-18, 2e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return thr
+	}
+	if thrAt(1.1, 5) <= thrAt(0.7, 5) {
+		t.Error("SET threshold not increasing with Vdd")
+	}
+	if thrAt(0.8, 8) < thrAt(0.8, 3)*0.8 {
+		t.Error("longer chain propagates more easily than a short one")
+	}
+}

@@ -1,0 +1,35 @@
+package lut_test
+
+import (
+	"fmt"
+
+	"finser/internal/lut"
+)
+
+func ExampleTable1D() {
+	// A log-log table reproduces power laws exactly: y = x².
+	t, err := lut.NewTable1D(
+		[]float64{1, 10, 100},
+		[]float64{1, 100, 10000},
+		lut.Log, lut.Log,
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f(3)   = %.0f\n", t.Eval(3))
+	fmt.Printf("f(50)  = %.0f\n", t.Eval(50))
+	fmt.Printf("f(500) = %.0f (clamped)\n", t.Eval(500))
+	// Output:
+	// f(3)   = 9
+	// f(50)  = 2500
+	// f(500) = 10000 (clamped)
+}
+
+func ExampleLogSpace() {
+	for _, v := range lut.LogSpace(1, 1000, 4) {
+		fmt.Printf("%.0f ", v)
+	}
+	fmt.Println()
+	// Output:
+	// 1 10 100 1000
+}

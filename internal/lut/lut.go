@@ -1,0 +1,146 @@
+// Package lut implements the look-up tables the paper's flow stores between
+// stages: 1-D interpolated tables (electron yield vs energy, POF vs charge)
+// with linear or log-log interpolation, plus JSON round-tripping so the
+// expensive device-level Monte-Carlo results can be built once and reused —
+// exactly the LUT role Geant4/SPICE results play in the paper.
+package lut
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Scale selects the interpolation space for an axis or value.
+type Scale int
+
+const (
+	// Linear interpolates in linear space.
+	Linear Scale = iota
+	// Log interpolates in log space; all values must be positive.
+	Log
+)
+
+// Table1D is a 1-D interpolated look-up table y = f(x) over sorted,
+// strictly increasing X. Outside the domain it clamps to the end values,
+// which is the conservative choice for POF and yield tables.
+type Table1D struct {
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+	XScale Scale     `json:"xscale"`
+	YScale Scale     `json:"yscale"`
+}
+
+// NewTable1D validates and constructs a table. X must be strictly
+// increasing with at least two points, and positive where Log scales are
+// requested.
+func NewTable1D(x, y []float64, xs, ys Scale) (*Table1D, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("lut: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return nil, errors.New("lut: need at least two points")
+	}
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			return nil, fmt.Errorf("lut: NaN at index %d", i)
+		}
+		if i > 0 && x[i] <= x[i-1] {
+			return nil, fmt.Errorf("lut: X not strictly increasing at index %d", i)
+		}
+		if xs == Log && x[i] <= 0 {
+			return nil, fmt.Errorf("lut: non-positive X %g with log X scale", x[i])
+		}
+		if ys == Log && y[i] <= 0 {
+			return nil, fmt.Errorf("lut: non-positive Y %g with log Y scale", y[i])
+		}
+	}
+	xc := make([]float64, len(x))
+	yc := make([]float64, len(y))
+	copy(xc, x)
+	copy(yc, y)
+	return &Table1D{X: xc, Y: yc, XScale: xs, YScale: ys}, nil
+}
+
+// Eval interpolates the table at x, clamping outside the domain.
+func (t *Table1D) Eval(x float64) float64 {
+	n := len(t.X)
+	if x <= t.X[0] {
+		return t.Y[0]
+	}
+	if x >= t.X[n-1] {
+		return t.Y[n-1]
+	}
+	// Index of the first grid point > x; segment is [i-1, i].
+	i := sort.SearchFloat64s(t.X, x)
+	if t.X[i] == x {
+		return t.Y[i]
+	}
+	x0, x1 := t.X[i-1], t.X[i]
+	y0, y1 := t.Y[i-1], t.Y[i]
+	if t.XScale == Log {
+		x, x0, x1 = math.Log(x), math.Log(x0), math.Log(x1)
+	}
+	if t.YScale == Log {
+		y0, y1 = math.Log(y0), math.Log(y1)
+	}
+	f := (x - x0) / (x1 - x0)
+	y := y0 + f*(y1-y0)
+	if t.YScale == Log {
+		y = math.Exp(y)
+	}
+	return y
+}
+
+// Domain returns the covered X range.
+func (t *Table1D) Domain() (lo, hi float64) { return t.X[0], t.X[len(t.X)-1] }
+
+// Len returns the number of grid points.
+func (t *Table1D) Len() int { return len(t.X) }
+
+// WriteJSON serializes the table.
+func (t *Table1D) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTable1D deserializes and re-validates a table.
+func ReadTable1D(r io.Reader) (*Table1D, error) {
+	var t Table1D
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("lut: decode: %w", err)
+	}
+	return NewTable1D(t.X, t.Y, t.XScale, t.YScale)
+}
+
+// LogSpace returns n points geometrically spaced over [lo, hi].
+// It panics on invalid arguments, which indicate programmer error.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("lut: LogSpace needs n >= 2 and 0 < lo < hi")
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(l0 + (l1-l0)*float64(i)/float64(n-1))
+	}
+	out[0], out[n-1] = lo, hi // exact endpoints
+	return out
+}
+
+// LinSpace returns n points linearly spaced over [lo, hi].
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		panic("lut: LinSpace needs n >= 2 and lo < hi")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	out[n-1] = hi
+	return out
+}

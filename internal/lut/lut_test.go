@@ -1,0 +1,215 @@
+package lut
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTable1DValidation(t *testing.T) {
+	if _, err := NewTable1D([]float64{1, 2}, []float64{1}, Linear, Linear); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewTable1D([]float64{1}, []float64{1}, Linear, Linear); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewTable1D([]float64{1, 1}, []float64{1, 2}, Linear, Linear); err == nil {
+		t.Error("non-increasing X accepted")
+	}
+	if _, err := NewTable1D([]float64{-1, 2}, []float64{1, 2}, Log, Linear); err == nil {
+		t.Error("negative X with log scale accepted")
+	}
+	if _, err := NewTable1D([]float64{1, 2}, []float64{0, 2}, Linear, Log); err == nil {
+		t.Error("zero Y with log scale accepted")
+	}
+	if _, err := NewTable1D([]float64{1, math.NaN()}, []float64{1, 2}, Linear, Linear); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestLinearInterpolation(t *testing.T) {
+	tb, err := NewTable1D([]float64{0, 1, 2}, []float64{0, 10, 40}, Linear, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-5, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 25}, {2, 40}, {99, 40},
+	}
+	for _, c := range cases {
+		if got := tb.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogLogInterpolation(t *testing.T) {
+	// y = x^2 should be exactly reproduced by log-log interpolation.
+	x := []float64{1, 10, 100}
+	y := []float64{1, 100, 10000}
+	tb, err := NewTable1D(x, y, Log, Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, xv := range []float64{2, 3.7, 5, 31.6, 80} {
+		want := xv * xv
+		if got := tb.Eval(xv); math.Abs(got-want)/want > 1e-10 {
+			t.Errorf("Eval(%v) = %v, want %v", xv, got, want)
+		}
+	}
+}
+
+func TestEvalAtGridPoints(t *testing.T) {
+	x := []float64{1, 2, 4, 8}
+	y := []float64{3, 1, 4, 1.5}
+	tb, _ := NewTable1D(x, y, Log, Linear)
+	for i := range x {
+		if got := tb.Eval(x[i]); got != y[i] {
+			t.Errorf("Eval(%v) = %v, want exact %v", x[i], got, y[i])
+		}
+	}
+}
+
+// Property: interpolated values are bounded by the min/max of neighbouring
+// grid values, and clamped outside the domain.
+func TestEvalBounded(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		if len(raw) < 4 || math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		ys := make([]float64, 0, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			xs = append(xs, float64(i))
+			ys = append(ys, math.Mod(v, 1e9))
+		}
+		tb, err := NewTable1D(xs, ys, Linear, Linear)
+		if err != nil {
+			return false
+		}
+		p := math.Mod(probe, float64(len(xs)+2))
+		got := tb.Eval(p)
+		mn, mx := ys[0], ys[0]
+		for _, v := range ys {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		return got >= mn-1e-9 && got <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a table built from monotone data evaluates monotonically.
+func TestMonotonePreservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		ys := make([]float64, len(raw))
+		acc := 1.0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			acc += math.Abs(math.Mod(v, 100))
+			ys[i] = acc
+		}
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		tb, err := NewTable1D(xs, ys, Log, Log)
+		if err != nil {
+			return false
+		}
+		prev := -math.MaxFloat64
+		for p := 0.5; p < float64(len(xs))+1; p += 0.1 {
+			v := tb.Eval(p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tb, _ := NewTable1D([]float64{0.1, 1, 10}, []float64{5, 2, 9}, Log, Linear)
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable1D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.1, 0.5, 3, 10} {
+		if got.Eval(x) != tb.Eval(x) {
+			t.Errorf("round-trip mismatch at %v", x)
+		}
+	}
+}
+
+func TestReadRejectsBadJSON(t *testing.T) {
+	if _, err := ReadTable1D(bytes.NewBufferString(`{"x":[1],"y":[2]}`)); err == nil {
+		t.Error("invalid table accepted after decode")
+	}
+	if _, err := ReadTable1D(bytes.NewBufferString(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	pts := LogSpace(0.1, 100, 7)
+	if len(pts) != 7 || pts[0] != 0.1 || pts[6] != 100 {
+		t.Fatalf("LogSpace endpoints wrong: %v", pts)
+	}
+	if !sort.Float64sAreSorted(pts) {
+		t.Fatalf("LogSpace not sorted: %v", pts)
+	}
+	// Ratio between consecutive points should be constant.
+	r := pts[1] / pts[0]
+	for i := 2; i < len(pts); i++ {
+		if math.Abs(pts[i]/pts[i-1]-r) > 1e-9 {
+			t.Fatalf("LogSpace not geometric at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	pts := LinSpace(-1, 1, 5)
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace = %v", pts)
+		}
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LogSpace(0, 1, 5) },
+		func() { LogSpace(1, 1, 5) },
+		func() { LogSpace(1, 2, 1) },
+		func() { LinSpace(2, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,286 @@
+// Package neutron extends the flow to neutron-induced soft errors — the
+// paper's declared future work (§7). Neutrons are uncharged: they upset
+// cells through *indirect ionization*, nuclear reactions with silicon whose
+// charged secondaries (Si recoils from elastic scattering, α+Mg from
+// ²⁸Si(n,α)²⁵Mg, p+Al from ²⁸Si(n,p)²⁸Al) then ionize like any other ion.
+//
+// The package provides three pieces:
+//
+//   - the sea-level neutron spectrum (JEDEC-class magnitude: ≈13 n/(cm²·h)
+//     above 10 MeV),
+//   - energy-dependent reaction cross-sections for the three dominant
+//     channels, anchored to evaluated-data magnitudes and interpolated
+//     log-log,
+//   - interaction sampling: given a neutron energy, draw a reaction channel
+//     and its charged secondaries (species, energy, direction).
+//
+// Because the neutron mean free path in silicon (~10 cm) dwarfs a fin
+// (~10 nm), direct Monte Carlo would waste ~10⁸ trials per interaction.
+// The array engine instead uses forced-interaction weighting: every
+// sampled track is forced to interact inside a fin it crosses, and the
+// outcome carries the analytic interaction probability as a weight.
+// InteractionProbability supplies that weight.
+package neutron
+
+import (
+	"fmt"
+	"math"
+
+	"finser/internal/geom"
+	"finser/internal/lut"
+	"finser/internal/phys"
+	"finser/internal/rng"
+)
+
+// SiliconAtomsPerNm3 is the atomic number density of silicon
+// (8 atoms per 0.543³ nm³ diamond-cubic cell).
+const SiliconAtomsPerNm3 = 49.94
+
+// barnToNm2 converts a cross-section in barns to nm².
+// 1 b = 1e-24 cm² = 1e-10 nm².
+const barnToNm2 = 1e-10
+
+// Channel identifies a neutron-silicon reaction channel.
+type Channel int
+
+const (
+	// Elastic is elastic scattering producing a Si recoil.
+	Elastic Channel = iota
+	// NAlpha is ²⁸Si(n,α)²⁵Mg (Q = −2.65 MeV).
+	NAlpha
+	// NProton is ²⁸Si(n,p)²⁸Al (Q = −3.86 MeV).
+	NProton
+	// NumChannels is the number of modelled channels.
+	NumChannels
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	switch c {
+	case Elastic:
+		return "elastic"
+	case NAlpha:
+		return "(n,alpha)"
+	case NProton:
+		return "(n,p)"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Q-values in MeV (energy cost of the reaction).
+const (
+	qAlpha  = -2.654
+	qProton = -3.86
+)
+
+// Cross-section anchor tables, barns vs neutron energy in MeV. Magnitudes
+// follow evaluated nuclear data for ²⁸Si (approximate anchors; resonance
+// structure is smoothed out, which is adequate for flux-integrated rates).
+var (
+	elasticAnchors = struct{ e, s []float64 }{
+		e: []float64{0.1, 1, 2, 5, 10, 14, 20, 50, 100, 500, 1000},
+		s: []float64{4.5, 3.2, 2.8, 2.0, 1.4, 1.0, 0.85, 0.6, 0.5, 0.45, 0.45},
+	}
+	nAlphaAnchors = struct{ e, s []float64 }{
+		e: []float64{3.0, 5, 8, 10, 14, 20, 50, 100, 500, 1000},
+		s: []float64{0.005, 0.06, 0.11, 0.13, 0.16, 0.14, 0.10, 0.08, 0.05, 0.04},
+	}
+	nProtonAnchors = struct{ e, s []float64 }{
+		e: []float64{4.5, 6, 8, 10, 14, 20, 50, 100, 500, 1000},
+		s: []float64{0.01, 0.08, 0.15, 0.20, 0.25, 0.22, 0.16, 0.12, 0.08, 0.06},
+	}
+)
+
+// Reactions evaluates the channel cross-sections.
+type Reactions struct {
+	tables [NumChannels]*lut.Table1D
+	thresh [NumChannels]float64
+}
+
+// NewReactions builds the reaction model.
+func NewReactions() *Reactions {
+	mk := func(e, s []float64) *lut.Table1D {
+		t, err := lut.NewTable1D(e, s, lut.Log, lut.Log)
+		if err != nil {
+			panic(fmt.Sprintf("neutron: bad anchors: %v", err))
+		}
+		return t
+	}
+	r := &Reactions{}
+	r.tables[Elastic] = mk(elasticAnchors.e, elasticAnchors.s)
+	r.tables[NAlpha] = mk(nAlphaAnchors.e, nAlphaAnchors.s)
+	r.tables[NProton] = mk(nProtonAnchors.e, nProtonAnchors.s)
+	r.thresh[Elastic] = 0
+	r.thresh[NAlpha] = -qAlpha * (1 + 1.0/phys.SiliconA) // CM threshold
+	r.thresh[NProton] = -qProton * (1 + 1.0/phys.SiliconA)
+	return r
+}
+
+// CrossSection returns the channel cross-section in barns at the given
+// neutron energy (MeV); zero below threshold.
+func (r *Reactions) CrossSection(c Channel, energyMeV float64) float64 {
+	if energyMeV <= 0 || energyMeV < r.thresh[c] {
+		return 0
+	}
+	lo, _ := r.tables[c].Domain()
+	if energyMeV < lo {
+		if c == Elastic {
+			return r.tables[c].Eval(energyMeV) // clamped low end is fine
+		}
+		return 0
+	}
+	return r.tables[c].Eval(energyMeV)
+}
+
+// TotalCrossSection returns the summed modelled cross-section in barns.
+func (r *Reactions) TotalCrossSection(energyMeV float64) float64 {
+	s := 0.0
+	for c := Channel(0); c < NumChannels; c++ {
+		s += r.CrossSection(c, energyMeV)
+	}
+	return s
+}
+
+// InteractionProbability returns the probability that a neutron of the
+// given energy interacts within pathNm nanometres of silicon — the
+// forced-interaction weight. It is linear because σ·n·L ≪ 1 at fin scale.
+func (r *Reactions) InteractionProbability(energyMeV, pathNm float64) float64 {
+	if pathNm <= 0 {
+		return 0
+	}
+	sigmaNm2 := r.TotalCrossSection(energyMeV) * barnToNm2
+	return SiliconAtomsPerNm3 * sigmaNm2 * pathNm
+}
+
+// Secondary is one charged reaction product.
+type Secondary struct {
+	Species   phys.Species
+	EnergyMeV float64
+	Dir       geom.Vec3
+}
+
+// SampleInteraction draws a reaction channel (proportional to the channel
+// cross-sections at this energy) and its charged secondaries. Directions
+// are sampled isotropically — adequate at fin scale, where the secondaries'
+// ranges exceed the geometry and the paper-level quantities integrate over
+// all track orientations anyway. Returns nil if no channel is open.
+func (r *Reactions) SampleInteraction(src *rng.Source, energyMeV float64) []Secondary {
+	total := r.TotalCrossSection(energyMeV)
+	if total <= 0 {
+		return nil
+	}
+	u := src.Float64() * total
+	var ch Channel
+	for ch = Channel(0); ch < NumChannels-1; ch++ {
+		u -= r.CrossSection(ch, energyMeV)
+		if u < 0 {
+			break
+		}
+	}
+	switch ch {
+	case Elastic:
+		return r.sampleElastic(src, energyMeV)
+	case NAlpha:
+		return r.sampleTwoBody(src, energyMeV, qAlpha,
+			phys.Alpha, phys.MagnesiumIon)
+	default:
+		return r.sampleTwoBody(src, energyMeV, qProton,
+			phys.Proton, phys.AluminumIon)
+	}
+}
+
+// sampleElastic draws a Si recoil. The recoil energy follows the classic
+// hard-sphere kinematics E_R = E_n·γ·(1−cosθ_cm)/2 with
+// γ = 4·m·M/(m+M)² ≈ 0.133 for n on Si, θ_cm isotropic.
+func (r *Reactions) sampleElastic(src *rng.Source, energyMeV float64) []Secondary {
+	const gamma = 0.1332
+	cosCM := src.Uniform(-1, 1)
+	eR := energyMeV * gamma * (1 - cosCM) / 2
+	if eR <= 0 {
+		return nil
+	}
+	return []Secondary{{
+		Species:   phys.SiliconIon,
+		EnergyMeV: eR,
+		Dir:       src.IsotropicDirection(),
+	}}
+}
+
+// sampleTwoBody splits the available energy E_n + Q between the light
+// ejectile and the heavy recoil with two-body CM kinematics (inverse mass
+// sharing), emitting them back-to-back.
+func (r *Reactions) sampleTwoBody(src *rng.Source, energyMeV, q float64, light, heavy phys.Species) []Secondary {
+	avail := energyMeV + q // Q < 0
+	if avail <= 0 {
+		return nil
+	}
+	mL := light.MassMeV()
+	mH := heavy.MassMeV()
+	eLight := avail * mH / (mL + mH)
+	eHeavy := avail - eLight
+	dir := src.IsotropicDirection()
+	return []Secondary{
+		{Species: light, EnergyMeV: eLight, Dir: dir},
+		{Species: heavy, EnergyMeV: eHeavy, Dir: dir.Scale(-1)},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sea-level neutron spectrum.
+// ---------------------------------------------------------------------------
+
+// Differential sea-level neutron flux anchors, 1/(cm²·s·MeV), normalized so
+// the integral above 10 MeV is ≈ 3.6e-3 /(cm²·s) (JEDEC's 13 n/(cm²·h)).
+var neutronFluxAnchors = struct{ e, j []float64 }{
+	e: []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000},
+	j: []float64{9.0e-4, 4.5e-4, 1.7e-4, 8.0e-5, 3.8e-5, 1.4e-5, 6.5e-6,
+		2.8e-6, 7.0e-7, 2.0e-7},
+}
+
+// SeaLevel is the ground-level neutron environment.
+type SeaLevel struct {
+	table *lut.Table1D
+	scale float64
+}
+
+// NewSeaLevel builds the sea-level neutron spectrum; scale multiplies the
+// nominal flux (altitude scaling: ~2× per 1000 m near sea level).
+func NewSeaLevel(scale float64) (*SeaLevel, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("neutron: scale must be positive, got %g", scale)
+	}
+	t, err := lut.NewTable1D(neutronFluxAnchors.e, neutronFluxAnchors.j, lut.Log, lut.Log)
+	if err != nil {
+		return nil, fmt.Errorf("neutron: flux anchors: %w", err)
+	}
+	return &SeaLevel{table: t, scale: scale}, nil
+}
+
+// Species implements spectra.Spectrum. Neutrons are not a phys.Species
+// (they do not ionize directly); the engine treats this spectrum through
+// its own code path, so the species here is only informative. It reports
+// the dominant secondary.
+func (*SeaLevel) Species() phys.Species { return phys.SiliconIon }
+
+// Domain implements spectra.Spectrum.
+func (*SeaLevel) Domain() (lo, hi float64) { return 1, 1000 }
+
+// DifferentialFlux implements spectra.Spectrum, in 1/(cm²·s·MeV).
+func (s *SeaLevel) DifferentialFlux(eMeV float64) float64 {
+	lo, hi := s.Domain()
+	if eMeV < lo || eMeV > hi {
+		return 0
+	}
+	return s.scale * s.table.Eval(eMeV)
+}
+
+// recoilMaxFraction is the largest fraction of the neutron energy an
+// elastic Si recoil can carry.
+const recoilMaxFraction = 0.1332
+
+// MaxRecoilEnergy returns the hardest elastic Si recoil a neutron of the
+// given energy can produce (MeV).
+func MaxRecoilEnergy(energyMeV float64) float64 {
+	return recoilMaxFraction * math.Max(0, energyMeV)
+}

@@ -1,0 +1,206 @@
+package neutron
+
+import (
+	"math"
+	"testing"
+
+	"finser/internal/phys"
+	"finser/internal/rng"
+	"finser/internal/spectra"
+)
+
+func TestChannelString(t *testing.T) {
+	if Elastic.String() != "elastic" || NAlpha.String() != "(n,alpha)" || NProton.String() != "(n,p)" {
+		t.Error("channel names wrong")
+	}
+	if Channel(9).String() == "" {
+		t.Error("unknown channel string empty")
+	}
+}
+
+func TestCrossSectionsBasics(t *testing.T) {
+	r := NewReactions()
+	// Elastic is open at all energies; reactions have thresholds.
+	if r.CrossSection(Elastic, 1) <= 0 {
+		t.Error("elastic closed at 1 MeV")
+	}
+	if r.CrossSection(NAlpha, 1) != 0 {
+		t.Error("(n,α) open below threshold")
+	}
+	if r.CrossSection(NProton, 2) != 0 {
+		t.Error("(n,p) open below threshold")
+	}
+	if r.CrossSection(NAlpha, 14) <= 0 || r.CrossSection(NProton, 14) <= 0 {
+		t.Error("reaction channels closed at 14 MeV")
+	}
+	// Magnitudes: elastic ~1 b at 14 MeV, reactions ~0.1-0.3 b.
+	if e := r.CrossSection(Elastic, 14); e < 0.5 || e > 2 {
+		t.Errorf("elastic σ(14 MeV) = %v b", e)
+	}
+	if a := r.CrossSection(NAlpha, 14); a < 0.05 || a > 0.5 {
+		t.Errorf("(n,α) σ(14 MeV) = %v b", a)
+	}
+	// Total is the sum.
+	want := r.CrossSection(Elastic, 14) + r.CrossSection(NAlpha, 14) + r.CrossSection(NProton, 14)
+	if got := r.TotalCrossSection(14); math.Abs(got-want) > 1e-12 {
+		t.Errorf("total σ = %v, want %v", got, want)
+	}
+	if r.TotalCrossSection(0) != 0 || r.TotalCrossSection(-1) != 0 {
+		t.Error("non-positive energy should have zero σ")
+	}
+}
+
+func TestInteractionProbability(t *testing.T) {
+	r := NewReactions()
+	// Mean free path check: σ_tot(10 MeV) ≈ 1.7 b ⇒ λ = 1/(nσ) ≈ 12 cm,
+	// so P(interact in 30 nm) ≈ 30/12e7 ≈ 2.5e-7.
+	p := r.InteractionProbability(10, 30)
+	if p < 1e-8 || p > 1e-5 {
+		t.Errorf("P(interact, 30 nm, 10 MeV) = %v, want ~2e-7", p)
+	}
+	// Linear in path.
+	if r2 := r.InteractionProbability(10, 60) / p; math.Abs(r2-2) > 1e-9 {
+		t.Errorf("probability not linear in path: %v", r2)
+	}
+	if r.InteractionProbability(10, 0) != 0 {
+		t.Error("zero path should give zero probability")
+	}
+}
+
+func TestSampleElasticKinematics(t *testing.T) {
+	r := NewReactions()
+	src := rng.New(1)
+	const en = 20.0
+	maxSeen := 0.0
+	for i := 0; i < 5000; i++ {
+		secs := r.sampleElastic(src, en)
+		if len(secs) == 0 {
+			continue
+		}
+		s := secs[0]
+		if s.Species != phys.SiliconIon {
+			t.Fatalf("elastic secondary is %v", s.Species)
+		}
+		if s.EnergyMeV <= 0 || s.EnergyMeV > MaxRecoilEnergy(en)+1e-9 {
+			t.Fatalf("recoil energy %v outside (0, %v]", s.EnergyMeV, MaxRecoilEnergy(en))
+		}
+		if math.Abs(s.Dir.Norm()-1) > 1e-9 {
+			t.Fatal("recoil direction not unit")
+		}
+		if s.EnergyMeV > maxSeen {
+			maxSeen = s.EnergyMeV
+		}
+	}
+	// The kinematic endpoint should be approached.
+	if maxSeen < 0.8*MaxRecoilEnergy(en) {
+		t.Errorf("max recoil %v never approached endpoint %v", maxSeen, MaxRecoilEnergy(en))
+	}
+}
+
+func TestSampleTwoBodyKinematics(t *testing.T) {
+	r := NewReactions()
+	src := rng.New(2)
+	secs := r.sampleTwoBody(src, 14, qAlpha, phys.Alpha, phys.MagnesiumIon)
+	if len(secs) != 2 {
+		t.Fatalf("two-body gave %d secondaries", len(secs))
+	}
+	alpha, mg := secs[0], secs[1]
+	if alpha.Species != phys.Alpha || mg.Species != phys.MagnesiumIon {
+		t.Fatal("species wrong")
+	}
+	avail := 14 + qAlpha
+	if math.Abs(alpha.EnergyMeV+mg.EnergyMeV-avail) > 1e-9 {
+		t.Errorf("energy not conserved: %v + %v != %v", alpha.EnergyMeV, mg.EnergyMeV, avail)
+	}
+	// Light particle carries the larger share (inverse mass ratio).
+	if alpha.EnergyMeV <= mg.EnergyMeV {
+		t.Error("alpha should carry most of the available energy")
+	}
+	// Back-to-back emission.
+	if alpha.Dir.Dot(mg.Dir) > -0.999 {
+		t.Error("ejectile and recoil not back-to-back")
+	}
+	// Below threshold: nothing.
+	if got := r.sampleTwoBody(src, 1, qAlpha, phys.Alpha, phys.MagnesiumIon); got != nil {
+		t.Error("two-body below threshold should be nil")
+	}
+}
+
+func TestSampleInteractionChannels(t *testing.T) {
+	r := NewReactions()
+	src := rng.New(3)
+	counts := map[phys.Species]int{}
+	for i := 0; i < 20000; i++ {
+		for _, s := range r.SampleInteraction(src, 14) {
+			counts[s.Species]++
+			if s.EnergyMeV <= 0 {
+				t.Fatalf("non-positive secondary energy: %+v", s)
+			}
+		}
+	}
+	// All channels must appear at 14 MeV, elastic dominating.
+	if counts[phys.SiliconIon] == 0 || counts[phys.Alpha] == 0 || counts[phys.Proton] == 0 {
+		t.Fatalf("missing channels: %v", counts)
+	}
+	if counts[phys.SiliconIon] < counts[phys.Alpha] {
+		t.Error("elastic should dominate (n,α) at 14 MeV")
+	}
+	// At 1 MeV only elastic is open.
+	for i := 0; i < 1000; i++ {
+		for _, s := range r.SampleInteraction(src, 1) {
+			if s.Species != phys.SiliconIon {
+				t.Fatalf("sub-threshold interaction produced %v", s.Species)
+			}
+		}
+	}
+	// No channel open at zero energy.
+	if r.SampleInteraction(src, 0) != nil {
+		t.Error("interaction at zero energy")
+	}
+}
+
+func TestSeaLevelSpectrum(t *testing.T) {
+	s, err := NewSeaLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSeaLevel(0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	// Implements the spectra.Spectrum interface.
+	var _ spectra.Spectrum = s
+	// Decreasing, positive over the domain.
+	prev := math.Inf(1)
+	for e := 1.0; e <= 1000; e *= 2 {
+		f := s.DifferentialFlux(e)
+		if f <= 0 || f >= prev {
+			t.Fatalf("neutron flux not positive-decreasing at %v MeV", e)
+		}
+		prev = f
+	}
+	if s.DifferentialFlux(0.5) != 0 || s.DifferentialFlux(2000) != 0 {
+		t.Error("flux outside domain should be 0")
+	}
+	// JEDEC magnitude: integral above 10 MeV ≈ 13 n/(cm²·h) within 2×.
+	perHour := spectra.IntegralFlux(s, 10, 1000) * 3600
+	if perHour < 6 || perHour > 26 {
+		t.Errorf("n flux >10 MeV = %v /(cm²·h), want ≈ 13", perHour)
+	}
+	// Scale is linear.
+	s2, _ := NewSeaLevel(2)
+	if r := s2.DifferentialFlux(10) / s.DifferentialFlux(10); math.Abs(r-2) > 1e-9 {
+		t.Errorf("scale ratio = %v", r)
+	}
+}
+
+func TestNeutronFluxDominatesProtons(t *testing.T) {
+	// Ground-level neutrons outnumber protons — the reason indirect
+	// ionization matters even though each neutron rarely interacts.
+	n, _ := NewSeaLevel(1)
+	p, _ := spectra.NewProtonSeaLevel(1)
+	nFlux := spectra.IntegralFlux(n, 1, 1000)
+	pFlux := spectra.IntegralFlux(p, 1, 1000)
+	if nFlux < 10*pFlux {
+		t.Errorf("neutron flux %v not ≫ proton flux %v", nFlux, pFlux)
+	}
+}

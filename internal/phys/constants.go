@@ -1,0 +1,67 @@
+package phys
+
+import "math"
+
+// Physical constants and silicon material parameters.
+const (
+	// ElementaryCharge is the charge of a single electron in coulombs.
+	ElementaryCharge = 1.602176634e-19
+
+	// EVPerPair is the mean energy to create one electron–hole pair in
+	// silicon (the paper's 3.6 eV figure).
+	EVPerPair = 3.6
+
+	// FanoFactor is silicon's Fano factor: the pair-count variance is
+	// FanoFactor times the mean, well below Poisson.
+	FanoFactor = 0.115
+
+	// ElectronMassMeV is the electron rest mass in MeV/c².
+	ElectronMassMeV = 0.51099895
+
+	// SiliconZ and SiliconA are silicon's atomic number and mass.
+	SiliconZ = 14.0
+	SiliconA = 28.0855
+
+	// SiliconDensity is silicon's mass density in g/cm³.
+	SiliconDensity = 2.329
+
+	// SiliconMeanExcitationEV is silicon's mean excitation energy I in eV.
+	SiliconMeanExcitationEV = 173.0
+
+	// BetheK is the Bethe-formula prefactor K = 4π NA re² me c² in
+	// MeV·cm²/mol.
+	BetheK = 0.307075
+)
+
+// MeVPerCmToEVPerNm converts a stopping power from MeV/cm to eV/nm.
+// 1 MeV/cm = 1e6 eV / 1e7 nm = 0.1 eV/nm.
+const MeVPerCmToEVPerNm = 0.1
+
+// MassStoppingToEVPerNm converts a mass stopping power in MeV·cm²/g for
+// silicon into a linear stopping power in eV/nm.
+func MassStoppingToEVPerNm(massStopping float64) float64 {
+	return massStopping * SiliconDensity * MeVPerCmToEVPerNm
+}
+
+// PairsFromEnergy returns the mean number of electron–hole pairs produced
+// by depositing the given energy (eV) in silicon.
+func PairsFromEnergy(eV float64) float64 {
+	if eV <= 0 {
+		return 0
+	}
+	return eV / EVPerPair
+}
+
+// ChargeFromPairs converts a pair count to collected charge in coulombs
+// (unit collection efficiency).
+func ChargeFromPairs(pairs float64) float64 {
+	return pairs * ElementaryCharge
+}
+
+// ChargeFromEnergy converts a deposited energy in eV directly to collected
+// charge in coulombs.
+func ChargeFromEnergy(eV float64) float64 {
+	return ChargeFromPairs(PairsFromEnergy(eV))
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

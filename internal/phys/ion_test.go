@@ -1,0 +1,149 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeavyIonSpecies(t *testing.T) {
+	for _, sp := range []Species{MagnesiumIon, AluminumIon, SiliconIon} {
+		if !sp.HeavyIon() {
+			t.Errorf("%v should be a heavy ion", sp)
+		}
+		if sp.MassMeV() < 20000 || sp.MassMeV() > 30000 {
+			t.Errorf("%v mass = %v MeV", sp, sp.MassMeV())
+		}
+		if sp.ChargeNumber() < 12 || sp.ChargeNumber() > 14 {
+			t.Errorf("%v charge = %v", sp, sp.ChargeNumber())
+		}
+		if sp.String() == "" {
+			t.Errorf("%v has empty name", sp)
+		}
+	}
+	if Proton.HeavyIon() || Alpha.HeavyIon() {
+		t.Error("p/α are not heavy ions")
+	}
+}
+
+func TestIonStoppingPositiveAndHuge(t *testing.T) {
+	// A 100 keV recoil ion is densely ionizing once the cascade (nuclear)
+	// contribution is included: its ionizing stopping must exceed a
+	// proton's at the same energy, in both models.
+	for _, m := range []StoppingModel{NewTabulatedStopping(), BetheBlochStopping{}} {
+		for _, sp := range []Species{MagnesiumIon, AluminumIon, SiliconIon} {
+			s := IonizingStopping(m, sp, 0.1)
+			p := IonizingStopping(m, Proton, 0.1)
+			if s <= p {
+				t.Errorf("%T: %v ionizing stopping %v not above proton %v at 100 keV", m, sp, s, p)
+			}
+			if m.ElectronicStopping(sp, 0.1) <= 0 {
+				t.Errorf("%T: %v electronic stopping non-positive", m, sp)
+			}
+			if m.ElectronicStopping(sp, 0) != 0 {
+				t.Errorf("%v stopping at zero energy should be 0", sp)
+			}
+		}
+	}
+}
+
+func TestIonStoppingEffectiveChargeLimits(t *testing.T) {
+	// At equal velocity (equal E/m), a fast Si ion approaches Z² = 196×
+	// the proton stopping; a slow one carries far less effective charge.
+	tab := NewTabulatedStopping()
+	mRatio := SiliconIon.MassMeV() / Proton.MassMeV()
+	// Fast: 5 MeV-per-nucleon-scale silicon.
+	eFast := 5.0 * mRatio
+	rFast := tab.ElectronicStopping(SiliconIon, eFast) / tab.ElectronicStopping(Proton, 5.0)
+	if rFast < 100 || rFast > 196.1 {
+		t.Errorf("fast Si/proton stopping ratio = %v, want → Z²=196", rFast)
+	}
+	// Slow: 100 keV silicon (same velocity as a ~3.6 keV proton).
+	eSlowProton := 0.1 / mRatio
+	rSlow := tab.ElectronicStopping(SiliconIon, 0.1) / tab.ElectronicStopping(Proton, eSlowProton)
+	if rSlow >= rFast {
+		t.Errorf("slow ion ratio %v not below fast ratio %v", rSlow, rFast)
+	}
+}
+
+func TestIonRangeShort(t *testing.T) {
+	// Si recoils are short-range: a 1 MeV Si ion stops within a few µm
+	// (SRIM: ~1.5 µm), far shorter than a 1 MeV proton.
+	r := IonRange(NewTabulatedStopping(), SiliconIon, 1)
+	if r <= 100 || r > 5e3 {
+		t.Errorf("1 MeV Si range = %v nm, want ~1.5 µm", r)
+	}
+	if rp := CSDARange(NewTabulatedStopping(), Proton, 1); r >= rp {
+		t.Errorf("Si range %v not below proton range %v", r, rp)
+	}
+}
+
+func TestZBLNuclearStopping(t *testing.T) {
+	// Protons/alphas: negligible by construction here.
+	if ZBLNuclearStopping(Proton, 1) != 0 || ZBLNuclearStopping(Alpha, 1) != 0 {
+		t.Error("nuclear stopping should be 0 for p/α in this model")
+	}
+	if ZBLNuclearStopping(SiliconIon, 0) != 0 {
+		t.Error("zero energy should give zero nuclear stopping")
+	}
+	// Si on Si: nuclear stopping dominates electronic at 50 keV and is
+	// dominated by it at 5 MeV.
+	tab := NewTabulatedStopping()
+	low := ZBLNuclearStopping(SiliconIon, 0.05)
+	if low <= tab.ElectronicStopping(SiliconIon, 0.05) {
+		t.Errorf("nuclear %v should dominate electronic at 50 keV", low)
+	}
+	high := ZBLNuclearStopping(SiliconIon, 5)
+	if high >= tab.ElectronicStopping(SiliconIon, 5) {
+		t.Errorf("nuclear %v should be below electronic at 5 MeV", high)
+	}
+	// Magnitude sanity: Si on Si near the nuclear peak is O(100 eV/nm).
+	peak := 0.0
+	for e := 0.001; e < 10; e *= 1.2 {
+		if s := ZBLNuclearStopping(SiliconIon, e); s > peak {
+			peak = s
+		}
+	}
+	if peak < 50 || peak > 2000 {
+		t.Errorf("ZBL nuclear peak = %v eV/nm, implausible", peak)
+	}
+}
+
+func TestIonizingVsCombined(t *testing.T) {
+	tab := NewTabulatedStopping()
+	for _, e := range []float64{0.05, 0.3, 2} {
+		comb := CombinedStopping(tab, SiliconIon, e)
+		ion := IonizingStopping(tab, SiliconIon, e)
+		elec := tab.ElectronicStopping(SiliconIon, e)
+		if !(ion >= elec && ion <= comb) {
+			t.Errorf("at %v MeV: ionizing %v outside [electronic %v, combined %v]",
+				e, ion, elec, comb)
+		}
+	}
+	// For protons they all coincide.
+	if CombinedStopping(tab, Proton, 1) != tab.ElectronicStopping(Proton, 1) {
+		t.Error("proton combined != electronic")
+	}
+}
+
+func TestIonDepositDominatesFin(t *testing.T) {
+	// A 2 MeV Si recoil (typical elastic recoil of a 20+ MeV neutron)
+	// crossing 10 nm of silicon deposits thousands of e-h pairs — enough
+	// to flip any cell it starts in. This is the neutron upset mechanism.
+	s := IonizingStopping(NewTabulatedStopping(), SiliconIon, 2)
+	pairs := PairsFromEnergy(s * 10)
+	if pairs < 1000 {
+		t.Errorf("Si recoil deposits only %v pairs over 10 nm", pairs)
+	}
+}
+
+func TestLandauXiHeavyIon(t *testing.T) {
+	// ξ scales with z²/β²; a slow heavy ion has an enormous Landau scale.
+	xiSi := LandauXiEV(SiliconIon, 1, 10)
+	xiP := LandauXiEV(Proton, 1, 10)
+	if xiSi <= xiP {
+		t.Errorf("Si ξ %v not above proton ξ %v", xiSi, xiP)
+	}
+	if math.IsNaN(xiSi) || math.IsInf(xiSi, 0) {
+		t.Error("non-finite ξ")
+	}
+}

@@ -1,0 +1,7 @@
+package rng
+
+import "finser/internal/geom"
+
+func boxForTest() geom.AABB {
+	return geom.Box(geom.V(-2, 0, 1), geom.V(3, 4, 5))
+}

@@ -1,0 +1,118 @@
+// Package scrub closes the system loop: given the engine's SEU/MBU rates
+// and the ECC analysis, it models periodic scrubbing — the standard defence
+// that reads, corrects, and rewrites every word on a fixed interval. With
+// SEC-DED, a word fails only if it collects two bad bits before the
+// scrubber visits it. Two mechanisms produce that:
+//
+//  1. a single multi-bit event that defeats the interleaving (rate set by
+//     the MBU FIT times the ECC uncorrectable share) — scrubbing cannot
+//     help, the two bits arrive together;
+//  2. two independent single-bit upsets accumulating in one word between
+//     scrubs — quadratic in the per-word rate and linear in the interval,
+//     so the scrub period controls it directly.
+//
+// The package exposes the combined uncorrectable rate, the interval sweep,
+// and the break-even interval where accumulation starts to dominate.
+package scrub
+
+import (
+	"errors"
+	"math"
+)
+
+// Config describes the protected memory and its scrubbing policy.
+type Config struct {
+	// Words is the number of logical ECC words covered by the rates below.
+	Words int
+	// SEUFIT is the single-bit upset rate of the whole memory, in FIT
+	// (events per 1e9 h).
+	SEUFIT float64
+	// MBUFIT is the multi-bit event rate of the whole memory, in FIT.
+	MBUFIT float64
+	// UncorrectableShare is the fraction of MBU events that place ≥2 bits
+	// in one word despite interleaving (from ecc.Analyze).
+	UncorrectableShare float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Words <= 0 {
+		return errors.New("scrub: need a positive word count")
+	}
+	if c.SEUFIT < 0 || c.MBUFIT < 0 {
+		return errors.New("scrub: negative rates")
+	}
+	if c.UncorrectableShare < 0 || c.UncorrectableShare > 1 {
+		return errors.New("scrub: uncorrectable share outside [0,1]")
+	}
+	return nil
+}
+
+// MBUFloorFIT is the scrub-independent failure floor: multi-bit events that
+// land in one word arrive already uncorrectable.
+func (c Config) MBUFloorFIT() float64 {
+	return c.MBUFIT * c.UncorrectableShare
+}
+
+// AccumulationFIT is the rate of two independent SEUs meeting in one word
+// for the given scrub interval (hours): Words · (λw·T)²/2 failures per
+// interval → Words·λw²·T/2 per hour, expressed in FIT. λw is the per-word
+// SEU rate per hour.
+func (c Config) AccumulationFIT(scrubIntervalHours float64) float64 {
+	if scrubIntervalHours <= 0 {
+		return 0
+	}
+	lambdaWord := c.SEUFIT / 1e9 / float64(c.Words) // per word per hour
+	perHour := float64(c.Words) * lambdaWord * lambdaWord * scrubIntervalHours / 2
+	return perHour * 1e9
+}
+
+// UncorrectableFIT is the combined post-ECC, post-scrubbing failure rate.
+func (c Config) UncorrectableFIT(scrubIntervalHours float64) float64 {
+	return c.MBUFloorFIT() + c.AccumulationFIT(scrubIntervalHours)
+}
+
+// BreakEvenIntervalHours returns the scrub interval at which SEU
+// accumulation equals the MBU floor — scrubbing faster than this buys
+// little; slower, and accumulation dominates. +Inf when there is no floor
+// or no SEU rate.
+func (c Config) BreakEvenIntervalHours() float64 {
+	floor := c.MBUFloorFIT()
+	if floor <= 0 || c.SEUFIT <= 0 {
+		return math.Inf(1)
+	}
+	lambdaWord := c.SEUFIT / 1e9 / float64(c.Words)
+	perHourPerT := float64(c.Words) * lambdaWord * lambdaWord / 2 * 1e9
+	return floor / perHourPerT
+}
+
+// Point is one entry of an interval sweep.
+type Point struct {
+	IntervalHours    float64
+	UncorrectableFIT float64
+	AccumulationFIT  float64
+}
+
+// Sweep evaluates the uncorrectable rate across scrub intervals.
+func (c Config) Sweep(intervalsHours []float64) ([]Point, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, len(intervalsHours))
+	for _, T := range intervalsHours {
+		out = append(out, Point{
+			IntervalHours:    T,
+			UncorrectableFIT: c.UncorrectableFIT(T),
+			AccumulationFIT:  c.AccumulationFIT(T),
+		})
+	}
+	return out, nil
+}
+
+// MTTFHours converts a FIT rate to mean time to failure in hours.
+func MTTFHours(fit float64) float64 {
+	if fit <= 0 {
+		return math.Inf(1)
+	}
+	return 1e9 / fit
+}

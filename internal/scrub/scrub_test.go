@@ -1,0 +1,152 @@
+package scrub
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config {
+	return Config{
+		Words:              1 << 20, // 1M words
+		SEUFIT:             1000,
+		MBUFIT:             50,
+		UncorrectableShare: 0.05,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Words: 0, SEUFIT: 1},
+		{Words: 10, SEUFIT: -1},
+		{Words: 10, MBUFIT: -1},
+		{Words: 10, UncorrectableShare: 1.5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFloorAndLimits(t *testing.T) {
+	c := cfg()
+	if got := c.MBUFloorFIT(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("floor = %v, want 2.5", got)
+	}
+	// Instant scrubbing leaves only the floor.
+	if got := c.UncorrectableFIT(0); got != c.MBUFloorFIT() {
+		t.Errorf("zero-interval rate = %v", got)
+	}
+	// Monotone increasing in interval.
+	prev := -1.0
+	for _, T := range []float64{0, 1, 24, 720, 8760} {
+		v := c.UncorrectableFIT(T)
+		if v < prev {
+			t.Fatalf("rate not monotone at %v h", T)
+		}
+		prev = v
+	}
+}
+
+func TestAccumulationQuadraticInSEU(t *testing.T) {
+	a := cfg()
+	b := cfg()
+	b.SEUFIT *= 3
+	ra := a.AccumulationFIT(100)
+	rb := b.AccumulationFIT(100)
+	if math.Abs(rb/ra-9) > 1e-9 {
+		t.Errorf("accumulation not quadratic in SEU rate: ×%v", rb/ra)
+	}
+	// Linear in interval.
+	if r := a.AccumulationFIT(200) / ra; math.Abs(r-2) > 1e-9 {
+		t.Errorf("accumulation not linear in interval: ×%v", r)
+	}
+	// More words at fixed total SEU rate → fewer collisions.
+	w := cfg()
+	w.Words *= 4
+	if w.AccumulationFIT(100) >= a.AccumulationFIT(100) {
+		t.Error("more words should dilute accumulation")
+	}
+}
+
+func TestBreakEvenConsistent(t *testing.T) {
+	c := cfg()
+	T := c.BreakEvenIntervalHours()
+	if math.IsInf(T, 1) || T <= 0 {
+		t.Fatalf("break-even = %v", T)
+	}
+	// At the break-even interval the two terms are equal.
+	if acc, floor := c.AccumulationFIT(T), c.MBUFloorFIT(); math.Abs(acc-floor)/floor > 1e-9 {
+		t.Errorf("at break-even: accumulation %v != floor %v", acc, floor)
+	}
+	// Degenerate cases.
+	noMBU := cfg()
+	noMBU.MBUFIT = 0
+	if !math.IsInf(noMBU.BreakEvenIntervalHours(), 1) {
+		t.Error("no MBU floor should give infinite break-even")
+	}
+	noSEU := cfg()
+	noSEU.SEUFIT = 0
+	if !math.IsInf(noSEU.BreakEvenIntervalHours(), 1) {
+		t.Error("no SEU should give infinite break-even")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	c := cfg()
+	pts, err := c.Sweep([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.UncorrectableFIT < c.MBUFloorFIT() {
+			t.Errorf("rate below floor at %v h", p.IntervalHours)
+		}
+		if math.Abs(p.UncorrectableFIT-(c.MBUFloorFIT()+p.AccumulationFIT)) > 1e-12 {
+			t.Error("sweep split inconsistent")
+		}
+	}
+	bad := Config{Words: 0}
+	if _, err := bad.Sweep([]float64{1}); err == nil {
+		t.Error("invalid config swept")
+	}
+}
+
+func TestMTTF(t *testing.T) {
+	if got := MTTFHours(1e9); got != 1 {
+		t.Errorf("MTTF(1e9 FIT) = %v h", got)
+	}
+	if !math.IsInf(MTTFHours(0), 1) {
+		t.Error("zero FIT should be infinite MTTF")
+	}
+}
+
+// Property: rates are non-negative and split consistently for arbitrary
+// valid inputs.
+func TestScrubProperties(t *testing.T) {
+	f := func(seu, mbu, share, interval float64, words uint16) bool {
+		c := Config{
+			Words:              int(words%10000) + 1,
+			SEUFIT:             math.Abs(math.Mod(seu, 1e6)),
+			MBUFIT:             math.Abs(math.Mod(mbu, 1e6)),
+			UncorrectableShare: math.Abs(math.Mod(share, 1)),
+		}
+		T := math.Abs(math.Mod(interval, 1e5))
+		if c.Validate() != nil {
+			return false
+		}
+		tot := c.UncorrectableFIT(T)
+		return tot >= 0 && tot >= c.MBUFloorFIT()-1e-12 &&
+			math.Abs(tot-(c.MBUFloorFIT()+c.AccumulationFIT(T))) <= 1e-9*(1+tot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

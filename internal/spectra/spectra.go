@@ -1,0 +1,258 @@
+// Package spectra models the particle environments of the paper's Fig. 2:
+// the sea-level proton differential spectrum (atmospheric, Hagmann-style)
+// and the package alpha emission spectrum (uranium/thorium decay chains)
+// normalized to the paper's 0.001 α/(h·cm²) emission rate. It also provides
+// the log-energy discretization and per-bin integral fluxes consumed by the
+// FIT integral (paper Eq. 8).
+package spectra
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"finser/internal/lut"
+	"finser/internal/phys"
+)
+
+// Spectrum describes a particle flux environment.
+type Spectrum interface {
+	// Species returns the particle species of this environment.
+	Species() phys.Species
+	// DifferentialFlux returns the omnidirectional through-plane flux
+	// density at the given energy, in particles/(cm²·s·MeV).
+	DifferentialFlux(eMeV float64) float64
+	// Domain returns the energy range [lo, hi] in MeV over which the
+	// spectrum is defined.
+	Domain() (lo, hi float64)
+}
+
+// ---------------------------------------------------------------------------
+// Sea-level protons.
+// ---------------------------------------------------------------------------
+
+// Anchors for the sea-level differential proton intensity in
+// 1/(m²·s·sr·MeV), read off the paper's Fig. 2a (Hagmann et al. cascade
+// simulations): ~1e-2 at 1 MeV falling to ~1e-14 at 1e7 MeV.
+// The sub-MeV extension matters: direct ionization by low-energy protons is
+// the paper's proton upset mechanism (its refs [20–22]; its Fig. 8 sweeps
+// proton energy down to 0.1 MeV). The spectrum seen by the fins rolls off
+// below ~1 MeV because the softest protons range out in the BEOL/package
+// stack before reaching the device layer (a 0.3 MeV proton has a ~3 µm
+// silicon range); the anchors below 1 MeV model that attenuated shoulder.
+var protonIntensityAnchors = struct{ e, j []float64 }{
+	e: []float64{0.1, 0.3, 1, 3, 10, 30, 100, 300, 1e3, 3e3, 1e4, 1e5, 1e6, 1e7},
+	j: []float64{3e-3, 9e-3, 1e-2, 6e-3, 2.5e-3, 1e-3, 3e-4, 8e-5, 1.5e-5, 1.5e-6,
+		8e-8, 2e-10, 1e-12, 1e-14},
+}
+
+// ProtonSeaLevel is the ground-level proton environment.
+type ProtonSeaLevel struct {
+	table *lut.Table1D
+	scale float64
+}
+
+// NewProtonSeaLevel builds the sea-level proton spectrum. scale multiplies
+// the nominal flux (1 for New York sea level); it allows altitude or
+// shielding studies.
+func NewProtonSeaLevel(scale float64) (*ProtonSeaLevel, error) {
+	if scale <= 0 {
+		return nil, errors.New("spectra: scale must be positive")
+	}
+	t, err := lut.NewTable1D(protonIntensityAnchors.e, protonIntensityAnchors.j, lut.Log, lut.Log)
+	if err != nil {
+		return nil, fmt.Errorf("spectra: proton anchors: %w", err)
+	}
+	return &ProtonSeaLevel{table: t, scale: scale}, nil
+}
+
+// Species implements Spectrum.
+func (*ProtonSeaLevel) Species() phys.Species { return phys.Proton }
+
+// Domain implements Spectrum. The flow cares about the directly ionizing
+// low-energy part; the table extends to 1e7 MeV but the FIT integral is
+// dominated far below that.
+func (*ProtonSeaLevel) Domain() (lo, hi float64) { return 0.1, 1e7 }
+
+// DifferentialFlux implements Spectrum, converting the isotropic intensity
+// J [1/(m²·s·sr·MeV)] to a through-plane flux π·J [1/(m²·s·MeV)] and then
+// to per-cm².
+func (p *ProtonSeaLevel) DifferentialFlux(eMeV float64) float64 {
+	lo, hi := p.Domain()
+	if eMeV < lo || eMeV > hi {
+		return 0
+	}
+	j := p.table.Eval(eMeV)
+	return p.scale * math.Pi * j * 1e-4
+}
+
+// ---------------------------------------------------------------------------
+// Package alpha emission.
+// ---------------------------------------------------------------------------
+
+// alphaLine is one decay-chain emission line.
+type alphaLine struct {
+	energyMeV float64
+	weight    float64
+	sigmaMeV  float64
+}
+
+// Dominant ²³⁸U/²³²Th chain alpha lines, broadened by emission-depth energy
+// loss in the package material (Sai-Halasz-style spectrum shape).
+var alphaLines = []alphaLine{
+	{4.20, 1.0, 0.7},
+	{4.77, 1.0, 0.7},
+	{5.49, 1.2, 0.7},
+	{6.00, 1.0, 0.7},
+	{7.69, 0.8, 0.6},
+	{8.78, 0.5, 0.5},
+}
+
+// AlphaEmission is the package-material alpha environment.
+type AlphaEmission struct {
+	// ratePerCm2Hour is the total emission rate in α/(cm²·h).
+	ratePerCm2Hour float64
+	norm           float64 // normalizes the shape integral to 1 over the domain
+}
+
+// DefaultAlphaRate is the paper's assumed emission rate in α/(cm²·h).
+const DefaultAlphaRate = 0.001
+
+// NewAlphaEmission builds the alpha spectrum for a given total emission
+// rate in α/(cm²·h). Use DefaultAlphaRate for the paper's assumption.
+func NewAlphaEmission(ratePerCm2Hour float64) (*AlphaEmission, error) {
+	if ratePerCm2Hour <= 0 {
+		return nil, errors.New("spectra: alpha rate must be positive")
+	}
+	a := &AlphaEmission{ratePerCm2Hour: ratePerCm2Hour, norm: 1}
+	// Normalize the shape numerically so the integral over the domain is 1.
+	lo, hi := a.Domain()
+	const steps = 2000
+	sum := 0.0
+	h := (hi - lo) / steps
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		sum += w * a.shape(lo+float64(i)*h)
+	}
+	a.norm = 1 / (sum * h)
+	return a, nil
+}
+
+func (a *AlphaEmission) shape(eMeV float64) float64 {
+	s := 0.0
+	for _, l := range alphaLines {
+		d := (eMeV - l.energyMeV) / l.sigmaMeV
+		s += l.weight * math.Exp(-0.5*d*d)
+	}
+	return s
+}
+
+// Species implements Spectrum.
+func (*AlphaEmission) Species() phys.Species { return phys.Alpha }
+
+// Domain implements Spectrum: alpha emission below 10 MeV (paper §3.1).
+func (*AlphaEmission) Domain() (lo, hi float64) { return 0.5, 10 }
+
+// DifferentialFlux implements Spectrum in particles/(cm²·s·MeV).
+func (a *AlphaEmission) DifferentialFlux(eMeV float64) float64 {
+	lo, hi := a.Domain()
+	if eMeV < lo || eMeV > hi {
+		return 0
+	}
+	perHour := a.ratePerCm2Hour * a.norm * a.shape(eMeV)
+	return perHour / 3600
+}
+
+// ---------------------------------------------------------------------------
+// Discretization for the FIT integral.
+// ---------------------------------------------------------------------------
+
+// EnergyBin is one slice of a discretized spectrum.
+type EnergyBin struct {
+	Lo, Hi float64 // bin edges in MeV
+	Rep    float64 // representative energy (geometric mean), the paper's "E"
+	// IntFlux is the integral flux over the bin in particles/(cm²·s) —
+	// the paper's IntFlux(E).
+	IntFlux float64
+}
+
+// IntegralFlux integrates the spectrum's differential flux over [lo, hi]
+// (MeV) with a trapezoid rule on a log grid, returning particles/(cm²·s).
+func IntegralFlux(s Spectrum, lo, hi float64) float64 {
+	if hi <= lo || lo <= 0 {
+		return 0
+	}
+	const steps = 200
+	lnLo, lnHi := math.Log(lo), math.Log(hi)
+	h := (lnHi - lnLo) / steps
+	f := func(lnE float64) float64 {
+		e := math.Exp(lnE)
+		return e * s.DifferentialFlux(e) // dE = E dlnE
+	}
+	sum := 0.5 * (f(lnLo) + f(lnHi))
+	for i := 1; i < steps; i++ {
+		sum += f(lnLo + float64(i)*h)
+	}
+	return sum * h
+}
+
+// Bins discretizes the spectrum into n log-spaced energy bins over [lo, hi]
+// and computes each bin's integral flux. This is the "discretize the energy
+// spectrum of the particle to different ranges" step before Eq. 8.
+func Bins(s Spectrum, lo, hi float64, n int) ([]EnergyBin, error) {
+	if n <= 0 {
+		return nil, errors.New("spectra: need at least one bin")
+	}
+	if lo <= 0 || hi <= lo {
+		return nil, errors.New("spectra: need 0 < lo < hi")
+	}
+	edges := lut.LogSpace(lo, hi, n+1)
+	bins := make([]EnergyBin, n)
+	for i := range bins {
+		b := EnergyBin{
+			Lo:  edges[i],
+			Hi:  edges[i+1],
+			Rep: math.Sqrt(edges[i] * edges[i+1]),
+		}
+		b.IntFlux = IntegralFlux(s, b.Lo, b.Hi)
+		bins[i] = b
+	}
+	return bins, nil
+}
+
+// TotalFluxPerHour returns the spectrum's integral flux over its full
+// domain in particles/(cm²·h) — handy for sanity checks against the
+// paper's stated emission rates.
+func TotalFluxPerHour(s Spectrum) float64 {
+	lo, hi := s.Domain()
+	return IntegralFlux(s, lo, hi) * 3600
+}
+
+// ---------------------------------------------------------------------------
+// Altitude scaling.
+// ---------------------------------------------------------------------------
+
+// AltitudeScale returns the multiplier to apply to sea-level atmospheric
+// particle fluxes (neutrons, protons) at the given altitude in metres,
+// using the standard exponential attenuation in atmospheric depth:
+// F(A) = F(A₀)·exp((A₀−A)/L) with A₀ = 1033 g/cm² at sea level and an
+// attenuation length L = 131.3 g/cm² (JEDEC JESD89-class model). The
+// barometric formula supplies A(h) with an 8.4 km scale height. Sea level
+// returns exactly 1; Denver (~1600 m) returns ≈ 3–4; avionics altitudes
+// return a few hundred. Package-alpha emission does not scale with
+// altitude.
+func AltitudeScale(altitudeMeters float64) float64 {
+	const (
+		seaLevelDepth = 1033.0 // g/cm²
+		attenuation   = 131.3  // g/cm²
+		scaleHeight   = 8400.0 // m
+	)
+	if altitudeMeters <= 0 {
+		return 1
+	}
+	depth := seaLevelDepth * math.Exp(-altitudeMeters/scaleHeight)
+	return math.Exp((seaLevelDepth - depth) / attenuation)
+}

@@ -1,0 +1,96 @@
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"finser/internal/finfet"
+)
+
+// Bias-temperature-instability (BTI) aging and its interaction with soft
+// errors. A cell that holds one value for most of its life stresses a
+// *specific* pair of transistors: the ON pull-up of the "1" node suffers
+// NBTI, and the ON pull-down of the "0" node suffers PBTI. Their threshold
+// voltages drift upward over years, skewing the cell so that one stored
+// state becomes easier to upset than the other — aging converts a
+// symmetric SER into an asymmetric, data-dependent one. (Aging-aware
+// reliability is the first author's companion research line; this module
+// closes the loop between the two failure mechanisms.)
+
+// BTIModel holds the power-law drift parameters ΔVth = A·(t/t0)^n with
+// t0 = 10 years; A is the 10-year shift at 100% stress duty.
+type BTIModel struct {
+	// NBTIShift10y is the 10-year NBTI ΔVth for a PMOS stressed
+	// continuously, in volts.
+	NBTIShift10y float64
+	// PBTIShift10y is the NMOS counterpart (typically weaker in
+	// high-k/metal-gate FinFETs, but not negligible).
+	PBTIShift10y float64
+	// Exponent is the power-law time exponent (≈ 0.16 for BTI).
+	Exponent float64
+}
+
+// DefaultBTI returns typical 14 nm-class high-k/metal-gate BTI parameters.
+func DefaultBTI() BTIModel {
+	return BTIModel{
+		NBTIShift10y: 0.040,
+		PBTIShift10y: 0.020,
+		Exponent:     0.16,
+	}
+}
+
+// Shift returns the ΔVth after the given years of stress at the given duty
+// factor (fraction of time under stress). The duty factor enters with the
+// same power law — the standard AC/DC BTI scaling.
+func (m BTIModel) Shift(base10y, years, duty float64) float64 {
+	if years <= 0 || duty <= 0 {
+		return 0
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	return base10y * math.Pow(years/10, m.Exponent) * math.Pow(duty, m.Exponent)
+}
+
+// AgedShifts returns the per-transistor Vth shifts of a cell that spent
+// the given fraction of `years` holding bit (duty = fraction of lifetime
+// with Q = bit). Holding Q = 0 (bit=false): QB is high, so the LEFT
+// pull-up (gate = QB... the PU driving Q) — work through the stress map:
+//
+//	Q = 0, QB = 1:
+//	  PUL gate = QB = 1 → PMOS off      → no NBTI
+//	  PUR gate = Q  = 0 → PMOS on       → NBTI on PUR
+//	  PDL gate = QB = 1 → NMOS on       → PBTI on PDL
+//	  PDR gate = Q  = 0 → NMOS off      → no PBTI
+//
+// The mirrored state stresses the mirrored pair for the remaining time.
+func AgedShifts(m BTIModel, years float64, dutyHoldingZero float64) (VthShifts, error) {
+	if years < 0 {
+		return VthShifts{}, fmt.Errorf("sram: negative age %g", years)
+	}
+	if dutyHoldingZero < 0 || dutyHoldingZero > 1 {
+		return VthShifts{}, fmt.Errorf("sram: duty %g outside [0,1]", dutyHoldingZero)
+	}
+	var s VthShifts
+	d0 := dutyHoldingZero
+	d1 := 1 - dutyHoldingZero
+	// Stress accumulated while holding Q = 0.
+	s[PUR] += m.Shift(m.NBTIShift10y, years, d0)
+	s[PDL] += m.Shift(m.PBTIShift10y, years, d0)
+	// Stress accumulated while holding Q = 1 (mirror).
+	s[PUL] += m.Shift(m.NBTIShift10y, years, d1)
+	s[PDR] += m.Shift(m.PBTIShift10y, years, d1)
+	return s, nil
+}
+
+// AgedCell builds a cell aged for the given years at the given duty and
+// operating point. The returned cell holds Q = 0, so with a high
+// dutyHoldingZero the aged (weakened) transistors are the ones restoring
+// the state currently held — the worst case.
+func AgedCell(tech finfet.Technology, vdd float64, m BTIModel, years, dutyHoldingZero float64) (*Cell, error) {
+	shifts, err := AgedShifts(m, years, dutyHoldingZero)
+	if err != nil {
+		return nil, err
+	}
+	return NewCell(tech, vdd, shifts)
+}

@@ -1,0 +1,108 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCell8THoldMatches6T(t *testing.T) {
+	// The 8T core is the 6T cell: hold-mode critical charges must match.
+	c8, err := NewCell8T(tech(), 0.8, VthShifts{}, HoldMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c6 := mustCell(t, 0.8, VthShifts{})
+	for _, axis := range []Axis{AxisI1, AxisI2} {
+		q8, err := c8.CriticalCharge(axis, 1e-18, 5e-14, ShapeRect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q6, err := c6.CriticalCharge(axis, 1e-18, 5e-14, ShapeRect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(q8-q6)/q6 > 0.05 {
+			t.Errorf("axis %v: 8T Qcrit %v vs 6T %v", axis, q8, q6)
+		}
+	}
+}
+
+func TestCell8TNoReadDisturb(t *testing.T) {
+	// The decoupling claim at DC: reading an 8T cell leaves the storage
+	// nodes on their rails, unlike the 6T whose "0" node rises.
+	c8, err := NewCell8T(tech(), 0.8, VthShifts{}, ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, qb := c8.HoldVoltages()
+	if q > 0.01 {
+		t.Errorf("8T read mode disturbed Q to %v", q)
+	}
+	if qb < 0.79 {
+		t.Errorf("8T read mode pulled QB to %v", qb)
+	}
+	// And the read-mode critical charge stays at the hold level — the 6T
+	// loses ~18% when accessed, the 8T loses nothing.
+	qRead, err := c8.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold8, err := NewCell8T(tech(), 0.8, VthShifts{}, HoldMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qHold, err := hold8.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qRead-qHold)/qHold > 0.03 {
+		t.Errorf("8T read Qcrit %v differs from hold %v", qRead, qHold)
+	}
+	c6read, err := NewCellMode(tech(), 0.8, VthShifts{}, ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q6read, err := c6read.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q6read >= qRead {
+		t.Errorf("6T read Qcrit %v not below 8T read %v", q6read, qRead)
+	}
+}
+
+func TestCell8TReadPortStrikesBenign(t *testing.T) {
+	// A strike on the read stack must never flip the cell, at any charge a
+	// real particle can deposit (sweep to 50 fC — far beyond any fin hit).
+	for _, mode := range []CellMode{HoldMode, ReadMode} {
+		c8, err := NewCell8T(tech(), 0.8, VthShifts{}, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []float64{1e-16, 1e-15, 1e-14, 5e-14} {
+			res, err := c8.SimulateReadPortStrike(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Flipped {
+				t.Fatalf("mode %v: read-port strike of %v C flipped the cell", mode, q)
+			}
+		}
+	}
+}
+
+func TestCell8TStorageStrikesStillFlip(t *testing.T) {
+	// The read port protects reads, not the storage: a big storage-node
+	// strike flips the 8T exactly like the 6T.
+	c8, err := NewCell8T(tech(), 0.8, VthShifts{}, HoldMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c8.SimulateStrike(chargeOn(AxisI1, 1e-15), ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flipped {
+		t.Error("1 fC storage strike did not flip the 8T cell")
+	}
+}

@@ -1,0 +1,303 @@
+package sram
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"finser/internal/finfet"
+	"finser/internal/rng"
+	"finser/internal/stats"
+)
+
+// CharConfig configures cell POF characterization — the paper's §4 step
+// that SPICE-sweeps current magnitudes and transistor combinations, with a
+// 1000-sample threshold-voltage Monte Carlo when process variation is on.
+type CharConfig struct {
+	Tech finfet.Technology
+	Vdd  float64
+	// Samples is the number of process-variation Monte-Carlo samples
+	// (the paper uses 1000). Ignored when ProcessVariation is false.
+	Samples int
+	// ProcessVariation selects probabilistic POF ∈ [0,1] (true) or the
+	// nominal-corner binary POF ∈ {0,1} (false) — the paper's Fig. 11
+	// comparison.
+	ProcessVariation bool
+	// Seed makes the characterization deterministic.
+	Seed uint64
+	// Workers bounds characterization parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// ChargeLo/ChargeHi bracket the critical-charge bisection, in coulombs.
+	// Zero selects [1e-18, 5e-14].
+	ChargeLo, ChargeHi float64
+	// BaseShifts are deterministic per-transistor Vth shifts applied under
+	// the random variation — e.g. BTI aging stress (AgedShifts) or a
+	// deliberately skewed corner. Zero value means the nominal cell.
+	BaseShifts VthShifts
+	// Shape is the injected pulse shape (the paper's model is rectangular).
+	Shape PulseShape
+}
+
+func (c CharConfig) withDefaults() CharConfig {
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	if !c.ProcessVariation {
+		c.Samples = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ChargeLo <= 0 {
+		c.ChargeLo = 1e-18
+	}
+	if c.ChargeHi <= c.ChargeLo {
+		c.ChargeHi = 5e-14
+	}
+	return c
+}
+
+// Characterization is the POF model for one (technology, Vdd): per-sample
+// critical charges along the three sensitive axes. It plays the role of the
+// paper's POF LUTs: cheap POF evaluation for arbitrary strike charge
+// combinations at array-MC time.
+type Characterization struct {
+	Vdd     float64            `json:"vdd"`
+	Samples int                `json:"samples"`
+	PV      bool               `json:"process_variation"`
+	Axis    [NumAxes][]float64 `json:"axis_qcrit"` // per-sample Qcrit, C (+Inf = unflippable)
+	Shifts  []VthShifts        `json:"vth_shifts"` // per-sample Vth shifts (for validation)
+	ecdf    [NumAxes]*stats.ECDF
+	recip   [][NumAxes]float64
+}
+
+// Characterize runs the process-variation Monte Carlo: for each variation
+// sample it builds the cell and bisects the critical charge of each
+// sensitive axis. Samples run in parallel on cfg.Workers goroutines with
+// deterministic per-sample random substreams.
+func Characterize(cfg CharConfig) (*Characterization, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Vdd <= 0 {
+		return nil, errors.New("sram: characterization needs positive Vdd")
+	}
+
+	// Pre-draw per-sample Vth shifts so results are independent of worker
+	// scheduling.
+	src := rng.New(cfg.Seed)
+	shifts := make([]VthShifts, cfg.Samples)
+	for i := range shifts {
+		shifts[i] = cfg.BaseShifts
+		if cfg.ProcessVariation {
+			for r := Role(0); r < NumRoles; r++ {
+				shifts[i][r] += cfg.Tech.SigmaVth * src.Normal()
+			}
+		}
+	}
+
+	type result struct {
+		idx   int
+		qcrit [NumAxes]float64
+		err   error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				var res result
+				res.idx = idx
+				cell, err := NewCell(cfg.Tech, cfg.Vdd, shifts[idx])
+				if err != nil {
+					res.err = err
+					results <- res
+					continue
+				}
+				for a := AxisI1; a < NumAxes; a++ {
+					qc, err := cell.CriticalCharge(a, cfg.ChargeLo, cfg.ChargeHi, cfg.Shape)
+					if err != nil {
+						res.err = err
+						break
+					}
+					res.qcrit[a] = qc
+				}
+				results <- res
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.Samples; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	ch := &Characterization{Vdd: cfg.Vdd, Samples: cfg.Samples, PV: cfg.ProcessVariation, Shifts: shifts}
+	for a := range ch.Axis {
+		ch.Axis[a] = make([]float64, cfg.Samples)
+	}
+	var firstErr error
+	for res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sram: sample %d: %w", res.idx, res.err)
+			}
+			continue
+		}
+		for a := AxisI1; a < NumAxes; a++ {
+			ch.Axis[a][res.idx] = res.qcrit[a]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ch.finish(); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// finish builds the derived lookup structures.
+func (ch *Characterization) finish() error {
+	for a := range ch.Axis {
+		e, err := stats.NewECDF(ch.Axis[a])
+		if err != nil {
+			return fmt.Errorf("sram: axis %d: %w", a, err)
+		}
+		ch.ecdf[a] = e
+	}
+	ch.recip = make([][NumAxes]float64, ch.Samples)
+	for i := range ch.recip {
+		for a := 0; a < int(NumAxes); a++ {
+			q := ch.Axis[a][i]
+			if q > 0 && !math.IsInf(q, 1) {
+				ch.recip[i][a] = 1 / q
+			}
+		}
+	}
+	return nil
+}
+
+// POFSingle returns the probability that a charge q on a single axis flips
+// the cell: P(Qcrit ≤ q) over the variation samples. O(log samples).
+func (ch *Characterization) POFSingle(a Axis, q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	return ch.ecdf[a].Eval(q)
+}
+
+// POF returns the flip probability for an arbitrary charge vector using the
+// linear flip-surface model per variation sample: flip ⇔ Σ qᵢ/aᵢ ≥ 1.
+// Single-axis vectors take the exact ECDF fast path.
+func (ch *Characterization) POF(q [NumAxes]float64) float64 {
+	nz, axis := 0, Axis(0)
+	for a := AxisI1; a < NumAxes; a++ {
+		if q[a] > 0 {
+			nz++
+			axis = a
+		}
+	}
+	switch nz {
+	case 0:
+		return 0
+	case 1:
+		return ch.POFSingle(axis, q[axis])
+	}
+	flips := 0
+	for i := range ch.recip {
+		s := 0.0
+		for a := 0; a < int(NumAxes); a++ {
+			s += q[a] * ch.recip[i][a]
+		}
+		if s >= 1 {
+			flips++
+		}
+	}
+	return float64(flips) / float64(len(ch.recip))
+}
+
+// QcritQuantile returns the q-quantile of the axis critical-charge
+// distribution (0.5 = median).
+func (ch *Characterization) QcritQuantile(a Axis, q float64) float64 {
+	return ch.ecdf[a].Quantile(q)
+}
+
+// WriteJSON serializes the characterization (the "POF LUT" artifact).
+func (ch *Characterization) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ch)
+}
+
+// ReadCharacterization deserializes a characterization and rebuilds its
+// lookup structures.
+func ReadCharacterization(r io.Reader) (*Characterization, error) {
+	var ch Characterization
+	if err := json.NewDecoder(r).Decode(&ch); err != nil {
+		return nil, fmt.Errorf("sram: decode characterization: %w", err)
+	}
+	for a := range ch.Axis {
+		if len(ch.Axis[a]) != ch.Samples {
+			return nil, fmt.Errorf("sram: axis %d has %d samples, want %d",
+				a, len(ch.Axis[a]), ch.Samples)
+		}
+	}
+	if err := ch.finish(); err != nil {
+		return nil, err
+	}
+	return &ch, nil
+}
+
+// ValidateFlipSurface checks the linear multi-strike flip-surface
+// approximation against direct circuit simulation: it draws trials random
+// (sample, charge-vector) points near the surface and reports the fraction
+// where the surface model and the simulator agree. cfg must be the config
+// the characterization was built with (it supplies technology and shape).
+func (ch *Characterization) ValidateFlipSurface(cfg CharConfig, trials int, seed uint64) (agreement float64, err error) {
+	cfg = cfg.withDefaults()
+	src := rng.New(seed)
+	agree := 0
+	for t := 0; t < trials; t++ {
+		idx := src.Intn(ch.Samples)
+		cell, err := NewCell(cfg.Tech, ch.Vdd, ch.Shifts[idx])
+		if err != nil {
+			return 0, err
+		}
+		// Random direction in the positive octant, scaled to land the
+		// surface sum in [0.5, 1.5] so trials concentrate where the model
+		// could plausibly be wrong.
+		var q [NumAxes]float64
+		s := 0.0
+		for a := 0; a < int(NumAxes); a++ {
+			q[a] = src.Float64()
+			s += q[a] * ch.recip[idx][a]
+		}
+		if s == 0 {
+			continue
+		}
+		scale := src.Uniform(0.5, 1.5) / s
+		sum := 0.0
+		for a := 0; a < int(NumAxes); a++ {
+			q[a] *= scale
+			sum += q[a] * ch.recip[idx][a]
+		}
+		predicted := sum >= 1
+		res, err := cell.SimulateStrike(q, cfg.Shape)
+		if err != nil {
+			return 0, err
+		}
+		if res.Flipped == predicted {
+			agree++
+		}
+	}
+	return float64(agree) / float64(trials), nil
+}

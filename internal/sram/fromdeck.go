@@ -1,0 +1,74 @@
+package sram
+
+import (
+	"fmt"
+
+	"finser/internal/circuit"
+	"finser/internal/deck"
+	"finser/internal/finfet"
+)
+
+// NewCellFromDeck builds a strike-ready cell from a user-supplied SPICE
+// deck instead of the library's canonical 6T netlist — "bring your own
+// cell". The deck must expose the canonical node names (q, qb, bl, blb,
+// vdd; ground is 0) and already encode the operating condition (rail
+// values, word-line level). The three sensitive-axis strike sources are
+// attached exactly as in NewCell, so CriticalCharge and SimulateStrike
+// work unchanged — read-port variants, different fin counts, or weakened
+// transistors (dvth=...) all flow through the same characterization.
+func NewCellFromDeck(d *deck.Deck, tech finfet.Technology, vdd float64) (*Cell, error) {
+	if vdd <= 0 {
+		return nil, fmt.Errorf("sram: non-positive vdd %g", vdd)
+	}
+	c, nodes, err := d.Build(tech)
+	if err != nil {
+		return nil, fmt.Errorf("sram: deck build: %w", err)
+	}
+	need := func(name string) (circuit.Node, error) {
+		n, ok := nodes[name]
+		if !ok {
+			return 0, fmt.Errorf("sram: deck is missing required node %q", name)
+		}
+		return n, nil
+	}
+	cell := &Cell{Tech: tech, Vdd: vdd, ckt: c}
+	if cell.q, err = need("q"); err != nil {
+		return nil, err
+	}
+	if cell.qb, err = need("qb"); err != nil {
+		return nil, err
+	}
+	if cell.vddNode, err = need("vdd"); err != nil {
+		return nil, err
+	}
+	if cell.blNode, err = need("bl"); err != nil {
+		return nil, err
+	}
+
+	for a := AxisI1; a < NumAxes; a++ {
+		cell.strikes[a] = &settableWaveform{}
+	}
+	c.AddISource("i1_strike", cell.vddNode, cell.q, cell.strikes[AxisI1])
+	c.AddISource("i2_strike", cell.qb, circuit.Ground, cell.strikes[AxisI2])
+	c.AddISource("i3_strike", cell.blNode, cell.q, cell.strikes[AxisI3])
+
+	nodeset := map[circuit.Node]float64{
+		cell.q:       0,
+		cell.qb:      vdd,
+		cell.vddNode: vdd,
+		cell.blNode:  vdd,
+	}
+	if blb, ok := nodes["blb"]; ok {
+		nodeset[blb] = vdd
+	}
+	sol, err := c.OperatingPoint(nodeset)
+	if err != nil {
+		return nil, fmt.Errorf("sram: deck cell DC failed: %w", err)
+	}
+	if sol[cell.q] > 0.45*vdd || sol[cell.qb] < 0.8*vdd {
+		return nil, fmt.Errorf("sram: deck cell does not hold q=0: q=%.3g qb=%.3g",
+			sol[cell.q], sol[cell.qb])
+	}
+	cell.init = sol
+	return cell, nil
+}

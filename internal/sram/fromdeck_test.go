@@ -1,0 +1,84 @@
+package sram
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"finser/internal/deck"
+)
+
+func TestNewCellFromDeckMatchesBuiltin(t *testing.T) {
+	tech := tech()
+	d := deck.SixTCellDeck(tech, 0.8)
+	fromDeck, err := NewCellFromDeck(d, tech, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := mustCell(t, 0.8, VthShifts{})
+	qd, err := fromDeck.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := builtin.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical deck encodes the same cell: critical charges agree to
+	// bisection resolution.
+	if math.Abs(qd-qb)/qb > 0.03 {
+		t.Errorf("deck cell Qcrit %v vs builtin %v", qd, qb)
+	}
+}
+
+func TestNewCellFromDeckWeakenedVariant(t *testing.T) {
+	// Edit the deck: weaken the left pull-down by +60 mV. Qcrit on I1 must
+	// drop versus the canonical cell — the whole point of deck interop.
+	tech := tech()
+	d := deck.SixTCellDeck(tech, 0.8)
+	for i, card := range d.Cards {
+		if card.Name == "MPDL" {
+			d.Cards[i].Params["dvth"] = 0.06
+		}
+	}
+	weak, err := NewCellFromDeck(d, tech, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := mustCell(t, 0.8, VthShifts{})
+	qw, err := weak.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := nominal.CriticalCharge(AxisI1, 1e-18, 5e-14, ShapeRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qw >= qn {
+		t.Errorf("weakened deck cell Qcrit %v not below nominal %v", qw, qn)
+	}
+}
+
+func TestNewCellFromDeckValidation(t *testing.T) {
+	tech := tech()
+	if _, err := NewCellFromDeck(deck.SixTCellDeck(tech, 0.8), tech, 0); err == nil {
+		t.Error("zero vdd accepted")
+	}
+	// Missing required node.
+	d, err := deck.Parse(strings.NewReader("R1 q 0 1k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCellFromDeck(d, tech, 0.8); err == nil {
+		t.Error("deck without qb/vdd/bl accepted")
+	}
+	// A deck whose cell cannot hold the state must be rejected: tie Q high
+	// through a resistor strong enough to defeat the pull-down.
+	broken := deck.SixTCellDeck(tech, 0.8)
+	broken.Cards = append(broken.Cards, deck.Card{
+		Kind: deck.CardResistor, Name: "RSHORT", Nodes: []string{"q", "vdd"}, Value: 1,
+	})
+	if _, err := NewCellFromDeck(broken, tech, 0.8); err == nil {
+		t.Error("non-holding deck cell accepted")
+	}
+}

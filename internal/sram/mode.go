@@ -1,0 +1,64 @@
+package sram
+
+import (
+	"fmt"
+
+	"finser/internal/finfet"
+)
+
+// CellMode selects the cell's operating condition during the strike.
+type CellMode int
+
+const (
+	// HoldMode is the retention state: word line low, bit lines precharged.
+	// This is the paper's characterized condition (cells spend almost all
+	// their time holding).
+	HoldMode CellMode = iota
+	// ReadMode is the accessed state: word line high, bit lines precharged
+	// high. The conducting pass gate lifts the "0" storage node to the
+	// read-disturb level, eroding the noise margin — the cell flips at a
+	// lower critical charge.
+	ReadMode
+)
+
+// String implements fmt.Stringer.
+func (m CellMode) String() string {
+	if m == ReadMode {
+		return "read"
+	}
+	return "hold"
+}
+
+// NewCellMode builds the 6T cell in the given operating mode. HoldMode is
+// identical to NewCell. In ReadMode the word line is driven to Vdd and the
+// DC sanity window widens to admit the read-disturb voltage on the "0"
+// node.
+func NewCellMode(tech finfet.Technology, vdd float64, shifts VthShifts, mode CellMode) (*Cell, error) {
+	if mode == HoldMode {
+		return NewCell(tech, vdd, shifts)
+	}
+	if vdd <= 0 {
+		return nil, fmt.Errorf("sram: non-positive vdd %g", vdd)
+	}
+	cell, err := buildCell(tech, vdd, shifts, vdd)
+	if err != nil {
+		return nil, err
+	}
+	q, qb := cell.HoldVoltages()
+	// Read-disturb check: the "0" node rises but must stay well below the
+	// trip point, and the "1" node must stay high; otherwise the cell is
+	// read-unstable and unusable.
+	if q > 0.45*vdd || qb < 0.8*vdd {
+		return nil, fmt.Errorf("sram: cell read-unstable: q=%.3g qb=%.3g at vdd=%.2g",
+			q, qb, vdd)
+	}
+	return cell, nil
+}
+
+// ReadDisturbVoltage returns the DC voltage of the "0" storage node during
+// a read access — the divider level between the conducting pass gate and
+// pull-down.
+func (c *Cell) ReadDisturbVoltage() float64 {
+	q, _ := c.HoldVoltages()
+	return q
+}

@@ -1,0 +1,106 @@
+package svg
+
+import (
+	"io"
+
+	"finser/internal/geom"
+	"finser/internal/layout"
+	"finser/internal/sram"
+)
+
+// roleStyle maps each transistor role to a fill colour: pull-ups warm,
+// pull-downs cool, pass-gates green.
+func roleStyle(role sram.Role, sensitive bool) string {
+	var fill string
+	switch role {
+	case sram.PUL, sram.PUR:
+		fill = "#e8a87c"
+	case sram.PDL, sram.PDR:
+		fill = "#7ca6e8"
+	default:
+		fill = "#8ccb8c"
+	}
+	stroke := `stroke="#444" stroke-width="0.5"`
+	if sensitive {
+		stroke = `stroke="#c00" stroke-width="1.5"`
+	}
+	return `fill="` + fill + `" ` + stroke
+}
+
+// RenderArray draws the top view of the array: cell grid, fin channel
+// boxes coloured by role, and red outlines on the radiation-sensitive
+// transistors for the given data pattern (bit(row, col)).
+func RenderArray(w io.Writer, arr *layout.Array, bit func(row, col int) bool) error {
+	b := arr.Bounds()
+	size := b.Size()
+	scale := 600 / size.X
+	c := NewCanvas(b.Min.X, b.Min.Y, size.X, size.Y, scale)
+
+	// Cell grid.
+	cellW := arr.Cell.WidthNm
+	cellH := arr.Cell.HeightNm
+	for col := 0; col <= arr.Cols; col++ {
+		x := float64(col) * cellW
+		c.Line(x, 0, x, size.Y, `stroke="#ddd" stroke-width="0.5"`)
+	}
+	for row := 0; row <= arr.Rows; row++ {
+		y := float64(row) * cellH
+		c.Line(0, y, size.X, y, `stroke="#ddd" stroke-width="0.5"`)
+	}
+
+	// Fins.
+	for _, f := range arr.Fins() {
+		_, sensitive := sram.SensitiveAxisForRole(f.Role, bit(f.Row, f.Col))
+		c.Rect(f.Box.Min.X, f.Box.Min.Y,
+			f.Box.Max.X-f.Box.Min.X, f.Box.Max.Y-f.Box.Min.Y,
+			roleStyle(f.Role, sensitive))
+	}
+	c.Text(2, size.Y-6/scale*2, 12, "SRAM array top view — red outline = sensitive transistor")
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// Track is a particle track to overlay: entry/exit in world (nm)
+// coordinates plus the fins it deposited charge in.
+type Track struct {
+	Start, End geom.Vec3
+	StruckFins []int // indices into arr.Fins()
+	Flipped    bool  // whether the strike flipped at least one cell
+}
+
+// RenderStrikes draws the array with particle tracks overlaid (top-view
+// projection): grey tracks missed, orange tracks deposited, red tracks
+// flipped a cell.
+func RenderStrikes(w io.Writer, arr *layout.Array, bit func(row, col int) bool, tracks []Track) error {
+	b := arr.Bounds()
+	size := b.Size()
+	scale := 600 / size.X
+	c := NewCanvas(b.Min.X, b.Min.Y, size.X, size.Y, scale)
+
+	for _, f := range arr.Fins() {
+		_, sensitive := sram.SensitiveAxisForRole(f.Role, bit(f.Row, f.Col))
+		c.Rect(f.Box.Min.X, f.Box.Min.Y,
+			f.Box.Max.X-f.Box.Min.X, f.Box.Max.Y-f.Box.Min.Y,
+			roleStyle(f.Role, sensitive))
+	}
+	fins := arr.Fins()
+	for _, tr := range tracks {
+		style := `stroke="#bbb" stroke-width="0.8" stroke-opacity="0.6"`
+		if len(tr.StruckFins) > 0 {
+			style = `stroke="#e8962e" stroke-width="1.2"`
+		}
+		if tr.Flipped {
+			style = `stroke="#d11" stroke-width="1.6"`
+		}
+		c.Line(tr.Start.X, tr.Start.Y, tr.End.X, tr.End.Y, style)
+		for _, fi := range tr.StruckFins {
+			if fi >= 0 && fi < len(fins) {
+				ctr := fins[fi].Box.Center()
+				c.Circle(ctr.X, ctr.Y, 3, `fill="none" stroke="#d11" stroke-width="1"`)
+			}
+		}
+	}
+	c.Text(2, size.Y-6/scale*2, 12, "particle tracks — red = flipped a cell")
+	_, err := c.WriteTo(w)
+	return err
+}

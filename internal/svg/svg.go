@@ -1,0 +1,95 @@
+// Package svg is a minimal SVG canvas used to render SRAM array layouts
+// and particle tracks for documentation and debugging. It covers exactly
+// the primitives the layout visualizer needs — rectangles, lines, circles,
+// text — with a y-flip so layout coordinates (origin bottom-left, nm) map
+// onto SVG's top-left origin.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+type Canvas struct {
+	minX, minY    float64
+	width, height float64
+	scale         float64
+	margin        float64
+	elems         []string
+}
+
+// NewCanvas creates a canvas covering the world rectangle
+// [minX, minX+width] × [minY, minY+height], rendered at the given scale
+// (SVG units per world unit) with a fixed margin.
+func NewCanvas(minX, minY, width, height, scale float64) *Canvas {
+	if width <= 0 || height <= 0 || scale <= 0 {
+		panic("svg: canvas needs positive dimensions and scale")
+	}
+	return &Canvas{
+		minX: minX, minY: minY,
+		width: width, height: height,
+		scale:  scale,
+		margin: 10,
+	}
+}
+
+// tx transforms a world x to SVG x.
+func (c *Canvas) tx(x float64) float64 { return (x-c.minX)*c.scale + c.margin }
+
+// ty transforms a world y to SVG y (flipped).
+func (c *Canvas) ty(y float64) float64 {
+	return (c.height-(y-c.minY))*c.scale + c.margin
+}
+
+// Rect draws a world-coordinate rectangle with the given style attributes
+// (e.g. `fill="#ccc" stroke="black"`).
+func (c *Canvas) Rect(x, y, w, h float64, style string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" %s/>`,
+		c.tx(x), c.ty(y+h), w*c.scale, h*c.scale, style))
+}
+
+// Line draws a world-coordinate line segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, style string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" %s/>`,
+		c.tx(x1), c.ty(y1), c.tx(x2), c.ty(y2), style))
+}
+
+// Circle draws a world-coordinate circle; r is in SVG units so markers stay
+// readable at any zoom.
+func (c *Canvas) Circle(x, y, r float64, style string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" %s/>`,
+		c.tx(x), c.ty(y), r, style))
+}
+
+// Text places a label at a world coordinate; size is in SVG units.
+func (c *Canvas) Text(x, y float64, size float64, content string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-size="%.1f" font-family="monospace">%s</text>`,
+		c.tx(x), c.ty(y), size, escape(content)))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// WriteTo serializes the SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	totalW := c.width*c.scale + 2*c.margin
+	totalH := c.height*c.scale + 2*c.margin
+	fmt.Fprintf(&sb,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		totalW, totalH, totalW, totalH)
+	for _, e := range c.elems {
+		sb.WriteString("  " + e + "\n")
+	}
+	sb.WriteString("</svg>\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}

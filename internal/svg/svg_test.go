@@ -1,0 +1,108 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"finser/internal/finfet"
+	"finser/internal/geom"
+	"finser/internal/layout"
+)
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(0, 0, 100, 50, 2)
+	c.Rect(10, 10, 20, 5, `fill="red"`)
+	c.Line(0, 0, 100, 50, `stroke="blue"`)
+	c.Circle(50, 25, 4, `fill="green"`)
+	c.Text(1, 1, 10, "a<b&c")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "<rect", "<line", "<circle", "<text", "a&lt;b&amp;c", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Must be well-formed XML.
+	if err := xml.Unmarshal(buf.Bytes(), new(interface{})); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+}
+
+func TestCanvasYFlip(t *testing.T) {
+	c := NewCanvas(0, 0, 100, 100, 1)
+	// World y=0 should land at the BOTTOM of the SVG (larger SVG y).
+	bottom := c.ty(0)
+	top := c.ty(100)
+	if bottom <= top {
+		t.Errorf("y-flip broken: ty(0)=%v ty(100)=%v", bottom, top)
+	}
+}
+
+func TestCanvasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero dimensions")
+		}
+	}()
+	NewCanvas(0, 0, 0, 10, 1)
+}
+
+func arrayForTest(t *testing.T) *layout.Array {
+	t.Helper()
+	arr, err := layout.NewArray(layout.ThinCellLayout(finfet.Default14nmSOI()), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestRenderArray(t *testing.T) {
+	arr := arrayForTest(t)
+	var buf bytes.Buffer
+	if err := RenderArray(&buf, arr, func(int, int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One rect per fin (plus none for grid, which uses lines).
+	if got := strings.Count(out, "<rect"); got != 3*3*6 {
+		t.Errorf("rect count = %d, want 54", got)
+	}
+	// Sensitive transistors highlighted: 3 per cell.
+	if got := strings.Count(out, `stroke="#c00"`); got != 3*3*3 {
+		t.Errorf("sensitive outlines = %d, want 27", got)
+	}
+	if err := xml.Unmarshal(buf.Bytes(), new(interface{})); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+}
+
+func TestRenderStrikes(t *testing.T) {
+	arr := arrayForTest(t)
+	tracks := []Track{
+		{Start: geom.V(0, 0, 30), End: geom.V(500, 300, 0)},                                       // miss
+		{Start: geom.V(0, 90, 15), End: geom.V(570, 90, 15), StruckFins: []int{0, 6}},             // deposit
+		{Start: geom.V(0, 20, 15), End: geom.V(570, 20, 15), StruckFins: []int{1}, Flipped: true}, // flip
+	}
+	var buf bytes.Buffer
+	if err := RenderStrikes(&buf, arr, func(int, int) bool { return false }, tracks); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `stroke="#d11" stroke-width="1.6"`) {
+		t.Error("flipped track style missing")
+	}
+	if !strings.Contains(out, `stroke="#e8962e"`) {
+		t.Error("deposit track style missing")
+	}
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("struck-fin markers = %d, want 3", got)
+	}
+	if err := xml.Unmarshal(buf.Bytes(), new(interface{})); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package transport is the library's Geant4 substitute: straight-line
+// Monte-Carlo transport of directly ionizing particles (protons,
+// alpha-particles) through collections of silicon fin boxes. For each fin a
+// track crosses, it integrates the electronic stopping power along the
+// chord in sub-steps, applies Bohr energy-loss straggling and Fano
+// pair-count fluctuation, and reports the electron–hole pairs generated in
+// that fin — the exact quantity the paper extracts from Geant4 and stores
+// in LUTs (its Fig. 4).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"finser/internal/geom"
+	"finser/internal/lut"
+	"finser/internal/phys"
+	"finser/internal/rng"
+	"finser/internal/stats"
+)
+
+// Config controls the transport physics fidelity.
+type Config struct {
+	// Stopping is the electronic stopping model. Nil selects the tabulated
+	// NIST-style model.
+	Stopping phys.StoppingModel
+	// StepNm is the sub-step length for integrating dE/dx along a chord.
+	// Zero selects 2 nm, fine enough that S(E) is constant per step for the
+	// fin dimensions in play.
+	StepNm float64
+	// Straggling enables Bohr energy-loss fluctuation per step.
+	Straggling bool
+	// FanoFluctuation enables sub-Poissonian pair-count fluctuation.
+	FanoFluctuation bool
+	// InterFinStoppingScale scales silicon stopping for the material between
+	// fins (spacer/oxide stack). 0 treats gaps as lossless; 1 as silicon.
+	// The default config uses 0.5, a reasonable oxide/nitride average.
+	InterFinStoppingScale float64
+	// CollectionEfficiency scales generated pairs to collected pairs,
+	// covering carriers lost to the BOX or recombined at interfaces.
+	// Zero selects 1.0 (the paper assumes full drift collection in the fin).
+	CollectionEfficiency float64
+}
+
+// DefaultConfig returns the configuration used throughout the flow:
+// tabulated stopping, 2 nm steps, straggling and Fano fluctuation on,
+// half-silicon inter-fin losses, unity collection efficiency.
+func DefaultConfig() Config {
+	return Config{
+		Stopping:              phys.NewTabulatedStopping(),
+		StepNm:                2,
+		Straggling:            true,
+		FanoFluctuation:       true,
+		InterFinStoppingScale: 0.5,
+		CollectionEfficiency:  1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stopping == nil {
+		c.Stopping = phys.NewTabulatedStopping()
+	}
+	if c.StepNm <= 0 {
+		c.StepNm = 2
+	}
+	if c.CollectionEfficiency <= 0 {
+		c.CollectionEfficiency = 1
+	}
+	return c
+}
+
+// Deposit is the energy a single track left in a single fin.
+type Deposit struct {
+	Fin      int     // index into the fins slice passed to Trace
+	EnergyEV float64 // deposited energy
+	Pairs    float64 // collected electron–hole pairs
+	PathNm   float64 // chord length through the fin
+}
+
+type hit struct {
+	fin       int
+	tIn, tOut float64
+}
+
+// Trace propagates one particle along ray (Dir must be unit length) through
+// the fins and returns the per-fin deposits in traversal order. The
+// particle's kinetic energy is depleted as it travels; a track that ranges
+// out stops depositing. src supplies the fluctuation randomness and may be
+// nil when both fluctuation options are off.
+func Trace(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []geom.AABB, src *rng.Source) []Deposit {
+	cfg = cfg.withDefaults()
+	if energyMeV <= 0 {
+		return nil
+	}
+	if (cfg.Straggling || cfg.FanoFluctuation) && src == nil {
+		panic("transport: fluctuations enabled but no rng source")
+	}
+
+	hits := make([]hit, 0, 8)
+	for i, f := range fins {
+		tIn, tOut, ok := f.Intersect(ray)
+		if ok && tOut > tIn {
+			hits = append(hits, hit{fin: i, tIn: tIn, tOut: tOut})
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].tIn < hits[j].tIn })
+
+	var out []Deposit
+	energyEV := energyMeV * 1e6
+	cursor := 0.0
+	for _, h := range hits {
+		if energyEV <= 0 {
+			break
+		}
+		// Lossy gap between the previous exit and this fin's entry.
+		if gap := h.tIn - cursor; gap > 0 && cfg.InterFinStoppingScale > 0 {
+			energyEV -= cfg.InterFinStoppingScale * meanLoss(cfg, sp, energyEV, gap)
+			if energyEV <= 0 {
+				break
+			}
+		}
+		dep := depositInSegment(cfg, sp, &energyEV, h.tOut-h.tIn, src)
+		if dep > 0 {
+			pairs := collectPairs(cfg, dep, src)
+			out = append(out, Deposit{
+				Fin:      h.fin,
+				EnergyEV: dep,
+				Pairs:    pairs,
+				PathNm:   h.tOut - h.tIn,
+			})
+		}
+		if h.tOut > cursor {
+			cursor = h.tOut
+		}
+	}
+	return out
+}
+
+// meanLoss integrates the mean total (electronic + nuclear) dE/dx over a
+// path without fluctuations, used for inter-fin gaps.
+func meanLoss(cfg Config, sp phys.Species, energyEV, pathNm float64) float64 {
+	lost := 0.0
+	remaining := pathNm
+	for remaining > 0 && energyEV > lost {
+		step := math.Min(cfg.StepNm, remaining)
+		s := phys.CombinedStopping(cfg.Stopping, sp, (energyEV-lost)*1e-6)
+		if s <= 0 {
+			break
+		}
+		lost += s * step
+		remaining -= step
+	}
+	return math.Min(lost, energyEV)
+}
+
+// depositInSegment walks a chord through silicon in sub-steps, depleting
+// *energyEV by the total stopping and returning the *ionizing* deposit
+// (electronic stopping plus the Lindhard partition of nuclear stopping for
+// heavy recoils), with optional Landau straggling on the ionizing part.
+func depositInSegment(cfg Config, sp phys.Species, energyEV *float64, pathNm float64, src *rng.Source) float64 {
+	deposited := 0.0
+	remaining := pathNm
+	for remaining > 0 && *energyEV > 0 {
+		step := math.Min(cfg.StepNm, remaining)
+		eMeV := *energyEV * 1e-6
+		sTotal := phys.CombinedStopping(cfg.Stopping, sp, eMeV)
+		sIon := phys.IonizingStopping(cfg.Stopping, sp, eMeV)
+		if sTotal <= 0 {
+			break
+		}
+		deTotal := sTotal * step
+		if cfg.Straggling {
+			xi := phys.LandauXiEV(sp, eMeV, step)
+			deTotal = phys.SampleLandauDeposit(deTotal, xi, src.Normal())
+		}
+		if deTotal > *energyEV {
+			deTotal = *energyEV
+		}
+		deposited += deTotal * (sIon / sTotal)
+		*energyEV -= deTotal
+		remaining -= step
+	}
+	return deposited
+}
+
+// collectPairs converts deposited energy to collected e–h pairs with
+// optional Fano fluctuation.
+func collectPairs(cfg Config, energyEV float64, src *rng.Source) float64 {
+	mean := phys.PairsFromEnergy(energyEV)
+	if cfg.FanoFluctuation && mean > 0 {
+		mean += math.Sqrt(phys.FanoFactor*mean) * src.Normal()
+		if mean < 0 {
+			mean = 0
+		}
+	}
+	return mean * cfg.CollectionEfficiency
+}
+
+// SecantThroughBox samples a flux-uniform (μ-random) chord through the box:
+// an isotropic direction plus a uniform impact point on the plane
+// perpendicular to it, rejection-sampled to hit the box. This models a
+// uniform external particle flux, so chord lengths obey Cauchy's mean-chord
+// theorem E[L] = 4V/S. The returned ray has unit direction and enters the
+// box at t = 0.
+func SecantThroughBox(src *rng.Source, b geom.AABB) geom.Ray {
+	c := b.Center()
+	half := b.Size().Norm() / 2 // bounding-sphere radius
+	for {
+		d := src.IsotropicDirection()
+		u, v := orthoBasis(d)
+		// Uniform impact point on a disk-bounding square ⊥ d through the
+		// centre; reject rays that miss the box.
+		a := src.Uniform(-half, half)
+		e := src.Uniform(-half, half)
+		origin := c.Add(u.Scale(a)).Add(v.Scale(e)).Sub(d.Scale(2 * half))
+		r := geom.Ray{Origin: origin, Dir: d}
+		tIn, tOut, ok := b.Intersect(r)
+		if !ok || tOut <= tIn {
+			continue
+		}
+		return geom.Ray{Origin: r.At(tIn), Dir: d}
+	}
+}
+
+// orthoBasis returns two unit vectors orthogonal to d and each other.
+func orthoBasis(d geom.Vec3) (u, v geom.Vec3) {
+	ref := geom.V(1, 0, 0)
+	if math.Abs(d.X) > 0.9 {
+		ref = geom.V(0, 1, 0)
+	}
+	u = d.Cross(ref).Unit()
+	v = d.Cross(u)
+	return u, v
+}
+
+// YieldStats summarizes the e–h yield distribution at one energy.
+type YieldStats struct {
+	EnergyMeV float64
+	MeanPairs float64
+	StdPairs  float64
+	MaxPairs  float64
+	HitFrac   float64 // fraction of sampled tracks that deposited anything
+}
+
+// FinYield runs iters random secants through a single fin at the given
+// energy and returns the yield statistics. This is the paper's
+// "10 million MC simulations ... for each particular energy" step.
+func FinYield(cfg Config, sp phys.Species, energyMeV float64, fin geom.AABB, iters int, src *rng.Source) YieldStats {
+	var w stats.Welford
+	maxPairs := 0.0
+	hits := 0
+	for i := 0; i < iters; i++ {
+		ray := SecantThroughBox(src, fin)
+		deps := Trace(cfg, sp, energyMeV, ray, []geom.AABB{fin}, src)
+		pairs := 0.0
+		for _, d := range deps {
+			pairs += d.Pairs
+		}
+		if pairs > 0 {
+			hits++
+		}
+		if pairs > maxPairs {
+			maxPairs = pairs
+		}
+		w.Add(pairs)
+	}
+	return YieldStats{
+		EnergyMeV: energyMeV,
+		MeanPairs: w.Mean(),
+		StdPairs:  w.StdDev(),
+		MaxPairs:  maxPairs,
+		HitFrac:   float64(hits) / float64(iters),
+	}
+}
+
+// BuildFinYieldLUT sweeps the energy grid and returns the mean-pairs LUT
+// used by the array-level stage (and plotted, normalized, as Fig. 4).
+func BuildFinYieldLUT(cfg Config, sp phys.Species, energiesMeV []float64, fin geom.AABB, itersPerEnergy int, src *rng.Source) (*lut.Table1D, error) {
+	if len(energiesMeV) < 2 {
+		return nil, errors.New("transport: need at least two energies")
+	}
+	if itersPerEnergy <= 0 {
+		return nil, errors.New("transport: need positive iteration count")
+	}
+	ys := make([]float64, len(energiesMeV))
+	for i, e := range energiesMeV {
+		if e <= 0 {
+			return nil, fmt.Errorf("transport: non-positive energy %g", e)
+		}
+		ys[i] = FinYield(cfg, sp, e, fin, itersPerEnergy, src).MeanPairs
+		if ys[i] <= 0 {
+			// Keep the table log-interpolable even if an energy point ranged
+			// out completely.
+			ys[i] = 1e-9
+		}
+	}
+	return lut.NewTable1D(energiesMeV, ys, lut.Log, lut.Log)
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"finser/internal/geom"
+	"finser/internal/phys"
+	"finser/internal/rng"
+)
+
+// testFin is a 14nm-class fin: 10 nm wide (X), 20 nm long (Y), 30 nm tall (Z).
+func testFin() geom.AABB {
+	return geom.BoxAt(geom.V(0, 0, 0), geom.V(10, 20, 30))
+}
+
+func detConfig() Config {
+	c := DefaultConfig()
+	c.Straggling = false
+	c.FanoFluctuation = false
+	return c
+}
+
+func TestTraceDeterministicCrossing(t *testing.T) {
+	fin := testFin()
+	// 1 MeV alpha across the 10 nm width.
+	ray := geom.Ray{Origin: geom.V(-5, 10, 15), Dir: geom.V(1, 0, 0)}
+	deps := Trace(detConfig(), phys.Alpha, 1, ray, []geom.AABB{fin}, nil)
+	if len(deps) != 1 {
+		t.Fatalf("deposits = %d, want 1", len(deps))
+	}
+	d := deps[0]
+	if math.Abs(d.PathNm-10) > 1e-9 {
+		t.Errorf("path = %v, want 10", d.PathNm)
+	}
+	// S(alpha, 1 MeV) ≈ 312 eV/nm → ≈ 3121 eV over 10 nm → ≈ 867 pairs.
+	if d.EnergyEV < 2500 || d.EnergyEV > 3800 {
+		t.Errorf("deposit = %v eV, want ≈ 3120", d.EnergyEV)
+	}
+	if math.Abs(d.Pairs-d.EnergyEV/phys.EVPerPair) > 1e-9 {
+		t.Errorf("pairs inconsistent with deposit: %v vs %v", d.Pairs, d.EnergyEV/3.6)
+	}
+}
+
+func TestTraceMiss(t *testing.T) {
+	fin := testFin()
+	ray := geom.Ray{Origin: geom.V(-5, 100, 15), Dir: geom.V(1, 0, 0)}
+	if deps := Trace(detConfig(), phys.Alpha, 1, ray, []geom.AABB{fin}, nil); deps != nil {
+		t.Fatalf("expected nil deposits, got %v", deps)
+	}
+}
+
+func TestTraceZeroEnergy(t *testing.T) {
+	fin := testFin()
+	ray := geom.Ray{Origin: geom.V(-5, 10, 15), Dir: geom.V(1, 0, 0)}
+	if deps := Trace(detConfig(), phys.Alpha, 0, ray, []geom.AABB{fin}, nil); deps != nil {
+		t.Fatal("expected no deposits at zero energy")
+	}
+}
+
+func TestTracePanicsWithoutRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: straggling without rng")
+		}
+	}()
+	cfg := detConfig()
+	cfg.Straggling = true
+	Trace(cfg, phys.Alpha, 1, geom.Ray{Dir: geom.V(1, 0, 0)}, []geom.AABB{testFin()}, nil)
+}
+
+func TestTraceEnergyConservation(t *testing.T) {
+	// Total deposited energy never exceeds the particle's kinetic energy,
+	// even across many fins with straggling on.
+	fins := make([]geom.AABB, 0, 20)
+	for i := 0; i < 20; i++ {
+		fins = append(fins, geom.BoxAt(geom.V(float64(i)*48, 0, 0), geom.V(10, 20, 30)))
+	}
+	src := rng.New(1)
+	cfg := DefaultConfig()
+	for trial := 0; trial < 200; trial++ {
+		e := 0.05 + 2*src.Float64() // MeV
+		ray := geom.Ray{Origin: geom.V(-5, 10, 15), Dir: geom.V(1, 0, 0)}
+		total := 0.0
+		for _, d := range Trace(cfg, phys.Alpha, e, ray, fins, src) {
+			if d.EnergyEV < 0 || d.Pairs < 0 {
+				t.Fatalf("negative deposit %+v", d)
+			}
+			total += d.EnergyEV
+		}
+		if total > e*1e6+1e-6 {
+			t.Fatalf("deposited %v eV > kinetic %v eV", total, e*1e6)
+		}
+	}
+}
+
+func TestTraceLowEnergyRangesOut(t *testing.T) {
+	// A 10 keV alpha ranges out within ~150 nm of silicon: through a
+	// full-density 500 nm gap it must not reach the far fin.
+	far := geom.BoxAt(geom.V(500, 0, 0), geom.V(10, 20, 30))
+	ray := geom.Ray{Origin: geom.V(0, 10, 15), Dir: geom.V(1, 0, 0)}
+	cfg := detConfig()
+	cfg.InterFinStoppingScale = 1
+	deps := Trace(cfg, phys.Alpha, 0.01, ray, []geom.AABB{far}, nil)
+	total := 0.0
+	for _, d := range deps {
+		total += d.EnergyEV
+	}
+	if total > 1 {
+		t.Errorf("ranged-out particle deposited %v eV in far fin", total)
+	}
+}
+
+func TestTraceGaplessVsLossyGap(t *testing.T) {
+	// With lossless gaps the second fin sees a higher-energy (for alphas
+	// above the Bragg peak: lower-stopping) particle than with lossy gaps.
+	fins := []geom.AABB{
+		geom.BoxAt(geom.V(0, 0, 0), geom.V(10, 20, 30)),
+		geom.BoxAt(geom.V(2000, 0, 0), geom.V(10, 20, 30)),
+	}
+	ray := geom.Ray{Origin: geom.V(-1, 10, 15), Dir: geom.V(1, 0, 0)}
+	lossless := detConfig()
+	lossless.InterFinStoppingScale = 0
+	lossy := detConfig()
+	lossy.InterFinStoppingScale = 1
+
+	dLossless := Trace(lossless, phys.Alpha, 2, ray, fins, nil)
+	dLossy := Trace(lossy, phys.Alpha, 2, ray, fins, nil)
+	if len(dLossless) != 2 || len(dLossy) != 2 {
+		t.Fatalf("want 2 deposits each, got %d and %d", len(dLossless), len(dLossy))
+	}
+	// 2 MeV alpha is above the Bragg peak: losing energy in the gap
+	// *increases* stopping, so the lossy second deposit is larger.
+	if dLossy[1].EnergyEV <= dLossless[1].EnergyEV {
+		t.Errorf("lossy gap deposit %v <= lossless %v",
+			dLossy[1].EnergyEV, dLossless[1].EnergyEV)
+	}
+}
+
+func TestTraceOrdering(t *testing.T) {
+	fins := []geom.AABB{
+		geom.BoxAt(geom.V(100, 0, 0), geom.V(10, 20, 30)),
+		geom.BoxAt(geom.V(0, 0, 0), geom.V(10, 20, 30)), // hit first, listed second
+	}
+	ray := geom.Ray{Origin: geom.V(-1, 10, 15), Dir: geom.V(1, 0, 0)}
+	deps := Trace(detConfig(), phys.Alpha, 5, ray, fins, nil)
+	if len(deps) != 2 || deps[0].Fin != 1 || deps[1].Fin != 0 {
+		t.Fatalf("traversal order wrong: %+v", deps)
+	}
+}
+
+func TestSecantThroughBox(t *testing.T) {
+	src := rng.New(7)
+	b := testFin()
+	var chordSum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := SecantThroughBox(src, b)
+		if math.Abs(r.Dir.Norm()-1) > 1e-9 {
+			t.Fatal("secant direction not unit")
+		}
+		tIn, tOut, ok := b.Intersect(r)
+		if !ok {
+			t.Fatal("secant misses its box")
+		}
+		if tIn > 1e-6 {
+			t.Fatalf("secant does not start at entry: tIn=%v", tIn)
+		}
+		chordSum += tOut - tIn
+	}
+	// Cauchy mean chord = 4V/S. V=6000, S=2(10·20+10·30+20·30)=2200 → 10.9.
+	mean := chordSum / n
+	if math.Abs(mean-10.909)/10.909 > 0.05 {
+		t.Errorf("mean chord = %v, want ≈ 10.9 (4V/S)", mean)
+	}
+}
+
+func TestFinYieldDecreasingInEnergy(t *testing.T) {
+	// Fig. 4 property: mean pairs decrease with energy above the Bragg peak.
+	src := rng.New(11)
+	cfg := detConfig()
+	fin := testFin()
+	yLow := FinYield(cfg, phys.Alpha, 1, fin, 4000, src)
+	yHigh := FinYield(cfg, phys.Alpha, 10, fin, 4000, src)
+	if yLow.MeanPairs <= yHigh.MeanPairs {
+		t.Errorf("alpha yield not decreasing: %v at 1 MeV vs %v at 10 MeV",
+			yLow.MeanPairs, yHigh.MeanPairs)
+	}
+	if yLow.HitFrac < 0.99 {
+		t.Errorf("secants should always deposit; hit fraction %v", yLow.HitFrac)
+	}
+}
+
+func TestFinYieldAlphaExceedsProton(t *testing.T) {
+	src := rng.New(13)
+	cfg := detConfig()
+	fin := testFin()
+	for _, e := range []float64{0.5, 1, 5} {
+		a := FinYield(cfg, phys.Alpha, e, fin, 3000, src).MeanPairs
+		p := FinYield(cfg, phys.Proton, e, fin, 3000, src).MeanPairs
+		if a <= p {
+			t.Errorf("at %v MeV alpha pairs %v <= proton %v", e, a, p)
+		}
+	}
+}
+
+func TestFinYieldStragglingWidensDistribution(t *testing.T) {
+	fin := testFin()
+	det := FinYield(detConfig(), phys.Alpha, 1, fin, 3000, rng.New(17))
+	fl := DefaultConfig()
+	stoch := FinYield(fl, phys.Alpha, 1, fin, 3000, rng.New(17))
+	if stoch.StdPairs <= det.StdPairs {
+		t.Errorf("straggling should widen the yield spread: %v <= %v",
+			stoch.StdPairs, det.StdPairs)
+	}
+	// Means should agree within a few percent.
+	if math.Abs(stoch.MeanPairs-det.MeanPairs)/det.MeanPairs > 0.1 {
+		t.Errorf("straggling shifted the mean: %v vs %v", stoch.MeanPairs, det.MeanPairs)
+	}
+}
+
+func TestBuildFinYieldLUT(t *testing.T) {
+	src := rng.New(19)
+	energies := []float64{0.5, 1, 2, 5, 10}
+	tb, err := BuildFinYieldLUT(detConfig(), phys.Alpha, energies, testFin(), 1000, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tb.Domain()
+	if lo != 0.5 || hi != 10 {
+		t.Errorf("domain = [%v, %v]", lo, hi)
+	}
+	// Interpolated value between grid points is positive and between
+	// neighbours.
+	v := tb.Eval(3)
+	if v <= tb.Eval(5) || v >= tb.Eval(2) {
+		t.Errorf("LUT not decreasing through 3 MeV: %v", v)
+	}
+}
+
+func TestBuildFinYieldLUTErrors(t *testing.T) {
+	src := rng.New(23)
+	if _, err := BuildFinYieldLUT(detConfig(), phys.Alpha, []float64{1}, testFin(), 10, src); err == nil {
+		t.Error("single energy accepted")
+	}
+	if _, err := BuildFinYieldLUT(detConfig(), phys.Alpha, []float64{1, 2}, testFin(), 0, src); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := BuildFinYieldLUT(detConfig(), phys.Alpha, []float64{-1, 2}, testFin(), 10, src); err == nil {
+		t.Error("negative energy accepted")
+	}
+}
