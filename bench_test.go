@@ -284,6 +284,40 @@ func BenchmarkArrayMCThroughput(b *testing.B) {
 	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "strikes/s")
 }
 
+// BenchmarkObsOverhead guards the observability layer's cost: it runs the
+// same array-MC batch with metrics fully enabled (registry + counters +
+// multiplicity histogram + worker timing) and reports throughput plus the
+// instrumented/uninstrumented ratio. The design target is < 2% overhead
+// enabled and ~0% disabled (the nil-receiver no-op path).
+func BenchmarkObsOverhead(b *testing.B) {
+	chars := benchFixtures(b)
+	const batch = 2000
+	run := func(b *testing.B, m *EngineMetrics) float64 {
+		e, err := NewEngine(EngineConfig{
+			Tech: Default14nmSOI(), Rows: 9, Cols: 9,
+			Char: chars[key(0.8, true)], Transport: DefaultTransport(),
+			Metrics: m,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.POFAtEnergy(phys.Alpha, 1, batch, uint64(i))
+		}
+		rate := float64(batch) * float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(rate, "strikes/s")
+		return rate
+	}
+	var off, on float64
+	b.Run("disabled", func(b *testing.B) { off = run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { on = run(b, NewEngineMetrics(NewMetrics())) })
+	if off > 0 && on > 0 {
+		b.Logf("obs overhead: %.2f%% (disabled %.0f strikes/s, enabled %.0f strikes/s)",
+			100*(off-on)/off, off, on)
+	}
+}
+
 // BenchmarkIncidenceModes is the incidence ablation: cosine-law versus
 // isotropic incidence changes the grazing-track population and with it the
 // MBU share. Reports the isotropic/cosine MBU ratio for 1 MeV alphas.

@@ -34,8 +34,26 @@ func main() {
 		eightT  = flag.Bool("cell8t", false, "compare the 6T cell against the 8T read-decoupled cell")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("out", "", "write the characterization JSON to this file")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (solver and characterization counters) to this file")
 	)
 	flag.Parse()
+
+	var reg *finser.Metrics
+	if *metrics != "" {
+		// Create the file up front so a bad path fails before the run.
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg = finser.NewMetrics()
+		defer func() {
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote metrics snapshot %s\n", *metrics)
+		}()
+	}
 
 	tech := finfet.Default14nmSOI()
 	tau := tech.TransitTime(*vdd)
@@ -66,6 +84,7 @@ func main() {
 		Samples:          *samples,
 		ProcessVariation: *pv,
 		Seed:             *seed,
+		Metrics:          finser.NewCharMetrics(reg),
 	}
 	ch, err := finser.Characterize(cfg)
 	if err != nil {

@@ -26,6 +26,9 @@ type runner struct {
 	iters   int
 	seed    uint64
 	outdir  string
+	// obs, when non-nil, collects counters and stage spans across every
+	// figure regenerated in this invocation.
+	obs *finser.Metrics
 	// characterization cache, keyed by (vdd, pv)
 	chars map[string]*finser.Characterization
 }
@@ -40,6 +43,7 @@ func main() {
 		iters   = flag.Int("iters", 20000, "array-MC particles per energy point/bin")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		outdir  = flag.String("outdir", "", "write CSV series to this directory")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, stage spans) to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +53,21 @@ func main() {
 		seed:    *seed,
 		outdir:  *outdir,
 		chars:   map[string]*finser.Characterization{},
+	}
+	if *metrics != "" {
+		// Create the file up front so a bad path fails before the run.
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.obs = finser.NewMetrics()
+		defer func() {
+			defer f.Close()
+			if err := r.obs.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote metrics snapshot %s\n", *metrics)
+		}()
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -85,6 +104,7 @@ func (r *runner) char(vdd float64, pv bool) (*finser.Characterization, error) {
 	ch, err := finser.Characterize(finser.CharConfig{
 		Tech: finser.Default14nmSOI(), Vdd: vdd,
 		Samples: r.samples, ProcessVariation: pv, Seed: r.seed,
+		Metrics: finser.NewCharMetrics(r.obs),
 	})
 	if err != nil {
 		return nil, err
@@ -98,9 +118,12 @@ func (r *runner) engine(vdd float64, pv bool) (*finser.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := finser.DefaultTransport()
+	tr.Metrics = finser.NewTransportMetrics(r.obs)
 	return finser.NewEngine(finser.EngineConfig{
 		Tech: finser.Default14nmSOI(), Rows: 9, Cols: 9,
-		Char: ch, Transport: finser.DefaultTransport(),
+		Char: ch, Transport: tr,
+		Metrics: finser.NewEngineMetrics(r.obs),
 	})
 }
 
@@ -268,6 +291,7 @@ func (r *runner) vddSweep(pv bool) ([]*finser.FlowResult, []float64, error) {
 		res, err := finser.RunFlowWithChar(finser.FlowConfig{
 			Vdd: v, ItersPerBin: r.iters, Seed: r.seed,
 			Samples: r.samples, ProcessVariation: pv,
+			Obs: r.obs,
 		}, ch)
 		if err != nil {
 			return nil, nil, err

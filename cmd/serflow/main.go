@@ -7,6 +7,8 @@
 //
 //	serflow -vdd 0.7,0.8,0.9,1.0,1.1 -samples 200 -iters 50000 -pv
 //	serflow -vdd 0.8 -rows 16 -cols 16 -json results.json
+//	serflow -vdd 0.8 -progress -metrics m.json  # live ETA + metrics snapshot
+//	serflow -vdd 0.8 -pprof localhost:6060      # pprof + /debug/vars expvar
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -27,36 +31,55 @@ func main() {
 	log.SetPrefix("serflow: ")
 
 	var (
-		vddList = flag.String("vdd", "0.8", "comma-separated supply voltages (V)")
-		rows    = flag.Int("rows", 9, "array rows")
-		cols    = flag.Int("cols", 9, "array columns")
-		pv      = flag.Bool("pv", true, "model threshold-voltage process variation")
-		samples = flag.Int("samples", 200, "process-variation Monte-Carlo samples")
-		iters   = flag.Int("iters", 30000, "array-MC particles per energy bin")
-		pattern = flag.String("pattern", "zeros", "stored data pattern: zeros|ones|checkerboard")
-		neut    = flag.Bool("neutron", false, "also estimate neutron-induced (indirect) SER")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		jsonOut = flag.String("json", "", "write results as JSON to this file")
+		vddList  = flag.String("vdd", "0.8", "comma-separated supply voltages (V)")
+		rows     = flag.Int("rows", 9, "array rows")
+		cols     = flag.Int("cols", 9, "array columns")
+		pv       = flag.Bool("pv", true, "model threshold-voltage process variation")
+		samples  = flag.Int("samples", 200, "process-variation Monte-Carlo samples")
+		iters    = flag.Int("iters", 30000, "array-MC particles per energy bin")
+		pattern  = flag.String("pattern", "zeros", "stored data pattern: zeros|ones|checkerboard")
+		neut     = flag.Bool("neutron", false, "also estimate neutron-induced (indirect) SER")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		jsonOut  = flag.String("json", "", "write results as JSON to this file")
+		progress = flag.Bool("progress", false, "print live per-stage progress with ETA on stderr")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, stage spans) to this file")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	vdds, err := parseVdds(*vddList)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pat, err := parsePattern(*pattern)
+	cfg, vdds, err := buildConfig(*vddList, *rows, *cols, *pv, *samples, *iters, *pattern, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	cfg := finser.FlowConfig{
-		Rows:             *rows,
-		Cols:             *cols,
-		ProcessVariation: *pv,
-		Samples:          *samples,
-		ItersPerBin:      *iters,
-		Pattern:          pat,
-		Seed:             *seed,
+	var reg *finser.Metrics
+	var metricsFile *os.File
+	if *progress || *metrics != "" || *pprof != "" {
+		reg = finser.NewMetrics()
+		cfg.Obs = reg
+	}
+	if *metrics != "" {
+		// Create the snapshot file up front so a bad path fails before the
+		// (potentially hours-long) run, not after it.
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metricsFile = f
+	}
+	if *progress {
+		cfg.Progress = finser.ProgressPrinter(os.Stderr)
+	}
+	if *pprof != "" {
+		reg.PublishExpvar("finser")
+		go func() {
+			// The default mux already carries pprof (imported above) and
+			// expvar's /debug/vars.
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+		fmt.Printf("pprof + expvar on http://%s/debug/pprof and /debug/vars\n", *pprof)
 	}
 
 	fmt.Printf("cross-layer SER flow: %dx%d SRAM array, 14nm SOI FinFET, PV=%v (%d samples), %d particles/bin\n\n",
@@ -103,14 +126,68 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
+	if metricsFile != nil {
+		if err := writeMetrics(reg, metricsFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics snapshot %s\n", *metrics)
+	}
+}
+
+// buildConfig validates the raw flag values up front — bad budgets or array
+// dimensions fail here with a clear message instead of panicking (or
+// silently misbehaving) layers deeper.
+func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, pattern string, seed uint64) (finser.FlowConfig, []float64, error) {
+	vdds, err := parseVdds(vddList)
+	if err != nil {
+		return finser.FlowConfig{}, nil, err
+	}
+	for _, v := range vdds {
+		if v <= 0 {
+			return finser.FlowConfig{}, nil, fmt.Errorf("-vdd must be positive, got %g", v)
+		}
+	}
+	if rows <= 0 || cols <= 0 {
+		return finser.FlowConfig{}, nil, fmt.Errorf("-rows/-cols must be positive, got %d×%d", rows, cols)
+	}
+	if samples <= 0 {
+		return finser.FlowConfig{}, nil, fmt.Errorf("-samples must be positive, got %d", samples)
+	}
+	if iters <= 0 {
+		return finser.FlowConfig{}, nil, fmt.Errorf("-iters must be positive, got %d", iters)
+	}
+	pat, err := parsePattern(pattern)
+	if err != nil {
+		return finser.FlowConfig{}, nil, err
+	}
+	return finser.FlowConfig{
+		Rows:             rows,
+		Cols:             cols,
+		ProcessVariation: pv,
+		Samples:          samples,
+		ItersPerBin:      iters,
+		Pattern:          pat,
+		Seed:             seed,
+	}, vdds, nil
+}
+
+func writeMetrics(reg *finser.Metrics, f *os.File) error {
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // neutronFIT runs the indirect-ionization extension with the flow's
 // already-built characterization.
 func neutronFIT(cfg finser.FlowConfig, res *finser.FlowResult) (finser.FITResult, error) {
+	tr := finser.DefaultTransport()
+	tr.Metrics = finser.NewTransportMetrics(cfg.Obs)
 	eng, err := finser.NewEngine(finser.EngineConfig{
 		Tech: finser.Default14nmSOI(), Rows: cfg.Rows, Cols: cfg.Cols,
-		Char: res.Char, Transport: finser.DefaultTransport(), Pattern: cfg.Pattern,
+		Char: res.Char, Transport: tr, Pattern: cfg.Pattern,
+		Metrics: finser.NewEngineMetrics(cfg.Obs), Progress: cfg.Progress,
 	})
 	if err != nil {
 		return finser.FITResult{}, err

@@ -20,12 +20,14 @@ package finser
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"finser/internal/core"
 	"finser/internal/ecc"
 	"finser/internal/finfet"
 	"finser/internal/lifetime"
 	"finser/internal/neutron"
+	"finser/internal/obs"
 	"finser/internal/phys"
 	"finser/internal/scrub"
 	"finser/internal/spectra"
@@ -94,7 +96,51 @@ type (
 	LifetimeConfig = lifetime.Config
 	// LifetimeResult summarizes simulated memory lifetimes.
 	LifetimeResult = lifetime.Result
+	// Metrics is the cross-layer metrics registry (counters, gauges,
+	// histograms, stage spans) snapshotable to JSON and publishable via
+	// expvar. A nil *Metrics disables instrumentation at zero cost.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serializable metrics view.
+	MetricsSnapshot = obs.Snapshot
+	// Progress is one report from a long-running stage (done/total/ETA).
+	Progress = obs.Progress
+	// ProgressFunc consumes progress reports.
+	ProgressFunc = obs.ProgressFunc
 )
+
+// NewMetrics returns an empty metrics registry for FlowConfig.Obs (and for
+// the layer-level Metrics fields in CharConfig / EngineConfig /
+// TransportConfig, via the internal constructors RunFlow wires up).
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Layer-level metric bundles, for callers that assemble CharConfig or
+// EngineConfig directly instead of going through RunFlow.
+type (
+	// EngineMetrics is the array engine's counter bundle (EngineConfig.Metrics).
+	EngineMetrics = core.Metrics
+	// CharMetrics is the characterization's counter bundle (CharConfig.Metrics).
+	CharMetrics = sram.Metrics
+	// TransportMetrics is the transport layer's counter bundle
+	// (TransportConfig.Metrics).
+	TransportMetrics = transport.Metrics
+)
+
+// NewEngineMetrics registers array-engine counters on r. Nil r → nil (no-op).
+func NewEngineMetrics(r *Metrics) *EngineMetrics { return core.NewMetrics(r) }
+
+// NewCharMetrics registers characterization and solver counters on r.
+// Nil r → nil (no-op).
+func NewCharMetrics(r *Metrics) *CharMetrics { return sram.NewMetrics(r) }
+
+// NewTransportMetrics registers transport counters on r. Nil r → nil (no-op).
+func NewTransportMetrics(r *Metrics) *TransportMetrics { return transport.NewMetrics(r) }
+
+// ProgressPrinter returns a ProgressFunc rendering throttled one-line
+// reports (stage, done/total, rate, ETA) on w — the live view behind
+// serflow -progress.
+func ProgressPrinter(w io.Writer) ProgressFunc {
+	return obs.Printer(w)
+}
 
 // SimulateLifetime runs the event-driven scrubbed-memory simulator — the
 // Monte-Carlo validation of the analytic ScrubConfig model.
@@ -241,6 +287,14 @@ type FlowConfig struct {
 	Seed uint64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Obs, when non-nil, collects cross-layer metrics and stage spans for
+	// the whole flow (circuit Newton work, transport rays, characterization
+	// samples, array-MC hit statistics, per-stage wall times). Nil — the
+	// default — keeps every layer on its zero-cost uninstrumented path.
+	Obs *Metrics
+	// Progress, when non-nil, receives throttled done/total/ETA reports
+	// from the characterization and FIT stages.
+	Progress ProgressFunc
 }
 
 func (c FlowConfig) withDefaults() (FlowConfig, error) {
@@ -294,6 +348,9 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	flow := cfg.Obs.StartSpan("flow")
+	defer flow.End()
+	charSpan := flow.Child("characterize")
 	char, err := Characterize(CharConfig{
 		Tech:             cfg.Tech,
 		Vdd:              cfg.Vdd,
@@ -301,11 +358,14 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 		ProcessVariation: cfg.ProcessVariation,
 		Seed:             cfg.Seed,
 		Workers:          cfg.Workers,
+		Metrics:          sram.NewMetrics(cfg.Obs),
+		Progress:         cfg.Progress,
 	})
+	charSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: characterize: %w", err)
 	}
-	return RunFlowWithChar(cfg, char)
+	return runFlowWithChar(cfg, char, flow)
 }
 
 // RunFlowWithChar is RunFlow with a pre-built characterization — useful for
@@ -315,15 +375,29 @@ func RunFlowWithChar(cfg FlowConfig, char *Characterization) (*FlowResult, error
 	if err != nil {
 		return nil, err
 	}
+	flow := cfg.Obs.StartSpan("flow")
+	defer flow.End()
+	return runFlowWithChar(cfg, char, flow)
+}
+
+// runFlowWithChar runs the environment half of the flow under the given
+// (possibly nil) flow span; cfg must already carry defaults.
+func runFlowWithChar(cfg FlowConfig, char *Characterization, flow *obs.Span) (*FlowResult, error) {
+	transportCfg := DefaultTransport()
+	transportCfg.Metrics = transport.NewMetrics(cfg.Obs)
+	buildSpan := flow.Child("engine-build")
 	eng, err := NewEngine(EngineConfig{
 		Tech:      cfg.Tech,
 		Rows:      cfg.Rows,
 		Cols:      cfg.Cols,
 		Char:      char,
-		Transport: DefaultTransport(),
+		Transport: transportCfg,
 		Pattern:   cfg.Pattern,
 		Workers:   cfg.Workers,
+		Metrics:   core.NewMetrics(cfg.Obs),
+		Progress:  cfg.Progress,
 	})
+	buildSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: engine: %w", err)
 	}
@@ -336,21 +410,29 @@ func RunFlowWithChar(cfg FlowConfig, char *Characterization) (*FlowResult, error
 	if err != nil {
 		return nil, err
 	}
+	alphaSpan := flow.Child("bins-alpha")
 	alphaBins, err := Bins(alphaSpec, 0.5, 10, cfg.AlphaBins)
+	alphaSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	protonSpan := flow.Child("bins-proton")
 	protonBins, err := Bins(protonSpec, 0.1, 100, cfg.ProtonBins)
+	protonSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	res := &FlowResult{Vdd: cfg.Vdd, Char: char}
+	fitAlpha := flow.Child("fit-alpha")
 	res.Alpha, err = eng.FIT(alphaSpec, alphaBins, cfg.ItersPerBin, cfg.Seed+1)
+	fitAlpha.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: alpha FIT: %w", err)
 	}
+	fitProton := flow.Child("fit-proton")
 	res.Proton, err = eng.FIT(protonSpec, protonBins, cfg.ItersPerBin, cfg.Seed+2)
+	fitProton.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: proton FIT: %w", err)
 	}

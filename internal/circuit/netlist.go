@@ -173,6 +173,9 @@ type Circuit struct {
 	VStep float64
 	// AbsTol and RelTol define Newton convergence on the update norm.
 	AbsTol, RelTol float64
+	// Metrics, when non-nil, receives solver counters (Newton iterations,
+	// LU solves, transient steps, step halvings). Nil costs nothing.
+	Metrics *Metrics
 }
 
 // New returns an empty circuit with default solver settings.

@@ -9,11 +9,27 @@ import (
 // Solution is a solved operating point: node voltages and branch currents.
 type Solution []float64
 
+// SolveStats reports the convergence diagnostics of one Newton solve: the
+// iterations it took (== dense-LU solves) and the final voltage-update
+// norm, which is what the convergence test is evaluated on. On failure the
+// norm is the last iteration's — the divergence-debugging signal the error
+// message also carries.
+type SolveStats struct {
+	Iterations int
+	UpdateNorm float64
+}
+
 // OperatingPoint computes the DC solution with Newton–Raphson. nodeset
 // provides initial-guess voltages for selected nodes — essential for
 // bistable circuits such as SRAM cells, where it selects which stable state
 // Newton converges to. It may be nil.
 func (c *Circuit) OperatingPoint(nodeset map[Node]float64) (Solution, error) {
+	sol, _, err := c.OperatingPointStats(nodeset)
+	return sol, err
+}
+
+// OperatingPointStats is OperatingPoint with the solve diagnostics.
+func (c *Circuit) OperatingPointStats(nodeset map[Node]float64) (Solution, SolveStats, error) {
 	c.assignBranches()
 	n := c.unknowns()
 	x := make([]float64, n)
@@ -22,10 +38,11 @@ func (c *Circuit) OperatingPoint(nodeset map[Node]float64) (Solution, error) {
 			x[node] = v
 		}
 	}
-	if err := c.newtonSolve(x, x, 0, 0, BackwardEuler); err != nil {
-		return nil, fmt.Errorf("circuit: DC operating point: %w", err)
+	st, err := c.newtonSolve(x, x, 0, 0, BackwardEuler)
+	if err != nil {
+		return nil, st, fmt.Errorf("circuit: DC operating point: %w", err)
 	}
-	return x, nil
+	return x, st, nil
 }
 
 // Integrator selects the implicit integration method for reactive
@@ -56,10 +73,28 @@ type TransientSpec struct {
 	ExtraBreakpoints []float64
 }
 
+// TransientStats aggregates solver diagnostics over one transient run —
+// the quantities a caller needs to judge how hard the solve was and where
+// the time went, instead of the opaque pass/fail the stepper used to give.
+type TransientStats struct {
+	// Steps is the number of accepted time steps.
+	Steps int
+	// NewtonIters is the total Newton iterations over all attempts
+	// (== dense-LU solves).
+	NewtonIters int
+	// StepHalvings counts retries where Newton failed and the step was
+	// halved.
+	StepHalvings int
+	// MinStep is the smallest accepted step, s (0 when no step accepted).
+	MinStep float64
+}
+
 // TransientResult holds the sampled trajectory of a transient analysis.
 type TransientResult struct {
 	Times  []float64
 	Values []Solution // one solution vector per time point
+	// Stats carries the per-run convergence diagnostics.
+	Stats TransientStats
 }
 
 // Final returns the node voltage at the last time point.
@@ -166,14 +201,27 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 		}
 
 		xNew := append(Solution(nil), x...)
-		err := c.newtonSolve(xNew, x, target, step, spec.Method)
+		st, err := c.newtonSolve(xNew, x, target, step, spec.Method)
+		res.Stats.NewtonIters += st.Iterations
 		if err != nil {
 			// Retry with a halved step.
+			res.Stats.StepHalvings++
+			if m := c.Metrics; m != nil {
+				m.StepHalvings.Inc()
+			}
 			dt = step / 2
 			if dt < spec.InitStep*minStepFrac {
-				return nil, fmt.Errorf("circuit: transient stalled at t=%g: %w", t, err)
+				return nil, fmt.Errorf("circuit: transient stalled at t=%g after %d step halvings: %w",
+					t, res.Stats.StepHalvings, err)
 			}
 			continue
+		}
+		res.Stats.Steps++
+		if res.Stats.MinStep == 0 || step < res.Stats.MinStep {
+			res.Stats.MinStep = step
+		}
+		if m := c.Metrics; m != nil {
+			m.TransientSteps.Inc()
 		}
 		for _, d := range c.devices {
 			if sd, ok := d.(stateful); ok {
@@ -222,8 +270,11 @@ func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
 
 // newtonSolve iterates the damped Newton loop in place on x. xPrev is the
 // previous accepted timestep solution (used by reactive companion models);
-// dt == 0 selects DC. Convergence is on the voltage-update norm.
-func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrator) error {
+// dt == 0 selects DC. Convergence is on the voltage-update norm. The
+// returned stats are valid on failure too (iterations spent, last update
+// norm) so callers can diagnose divergence instead of seeing only an
+// opaque error.
+func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrator) (SolveStats, error) {
 	n := c.unknowns()
 	a := make([][]float64, n)
 	for i := range a {
@@ -232,7 +283,13 @@ func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrato
 	b := make([]float64, n)
 	st := &Stamper{a: a, b: b, xPrev: xPrev, time: t, dt: dt, method: method, nNodes: len(c.names)}
 
+	var stats SolveStats
+	m := c.Metrics
 	for iter := 0; iter < c.MaxNewtonIter; iter++ {
+		stats.Iterations = iter + 1
+		if m != nil {
+			m.NewtonIters.Inc()
+		}
 		for i := range a {
 			row := a[i]
 			for j := range row {
@@ -248,8 +305,14 @@ func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrato
 		for _, d := range c.devices {
 			d.Stamp(st)
 		}
+		if m != nil {
+			m.LUSolves.Inc()
+		}
 		if err := denseLU(a, b); err != nil {
-			return err
+			if m != nil {
+				m.FailedSolves.Inc()
+			}
+			return stats, err
 		}
 		// b now holds the proposed next iterate. Damp node-voltage updates.
 		maxUpdate := 0.0
@@ -272,12 +335,22 @@ func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrato
 				converged = false
 			}
 			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
-				return fmt.Errorf("circuit: Newton diverged (non-finite unknown %d)", i)
+				if m != nil {
+					m.FailedSolves.Inc()
+				}
+				stats.UpdateNorm = maxUpdate
+				return stats, fmt.Errorf("circuit: Newton diverged at iteration %d (non-finite unknown %d)",
+					iter+1, i)
 			}
 		}
+		stats.UpdateNorm = maxUpdate
 		if converged && iter > 0 {
-			return nil
+			return stats, nil
 		}
 	}
-	return fmt.Errorf("circuit: Newton failed to converge in %d iterations", c.MaxNewtonIter)
+	if m != nil {
+		m.FailedSolves.Inc()
+	}
+	return stats, fmt.Errorf("circuit: Newton failed to converge in %d iterations (last update norm %.3g V)",
+		c.MaxNewtonIter, stats.UpdateNorm)
 }

@@ -20,11 +20,13 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"finser/internal/finfet"
 	"finser/internal/geom"
 	"finser/internal/layout"
 	"finser/internal/lut"
+	"finser/internal/obs"
 	"finser/internal/phys"
 	"finser/internal/rng"
 	"finser/internal/spectra"
@@ -127,6 +129,13 @@ type Config struct {
 	Incidence *Incidence
 	// Workers bounds MC parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives engine counters (particles, hit/miss,
+	// struck-cell multiplicity, worker utilization) and per-stage FIT
+	// spans. Nil (the default) costs one pointer check per strike.
+	Metrics *Metrics
+	// Progress, when non-nil, receives throttled done/total/ETA reports
+	// while FIT integrates over energy bins.
+	Progress obs.ProgressFunc
 	// NeutronSubstrateDepthNm is the depth of handle-wafer silicon (below
 	// the BOX) modelled as a neutron interaction volume. Energetic reaction
 	// secondaries born there can traverse the BOX and strike fins even
@@ -265,6 +274,13 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64) str
 	}
 	if len(deps) == 0 {
 		return strikeOutcome{}
+	}
+	if m := e.cfg.Metrics; m != nil {
+		if e.cfg.Deposits == DepositLUT {
+			m.DepositsLUT.Inc()
+		} else {
+			m.DepositsTransport.Inc()
+		}
 	}
 
 	// Accumulate per-cell sensitive-axis charges.
@@ -454,9 +470,16 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 	}
 	srcs := rng.New(seed).ForkN(workers)
 
+	m := e.cfg.Metrics
+	var wallStart time.Time
+	if m != nil {
+		wallStart = time.Now()
+	}
+
 	type acc struct {
 		tot, seu, mbu stats.Welford
 		hits          int
+		busyNs        int64
 	}
 	results := make(chan acc, workers)
 	var wg sync.WaitGroup
@@ -471,6 +494,10 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 		go func(src *rng.Source, n int) {
 			defer wg.Done()
 			var a acc
+			var busyStart time.Time
+			if m != nil {
+				busyStart = time.Now()
+			}
 			for i := 0; i < n; i++ {
 				o := e.strike(src, sp, energyMeV)
 				a.tot.Add(o.pofTot)
@@ -478,7 +505,13 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 				a.mbu.Add(o.pofMBU)
 				if o.struckCells > 0 {
 					a.hits++
+					if m != nil {
+						m.StruckCellMultiplicity.Observe(float64(o.struckCells))
+					}
 				}
+			}
+			if m != nil {
+				a.busyNs = time.Since(busyStart).Nanoseconds()
 			}
 			results <- a
 		}(srcs[w], n)
@@ -488,11 +521,24 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 
 	var tot, seu, mbu stats.Welford
 	hits := 0
+	busyNs := int64(0)
 	for a := range results {
 		tot.Merge(a.tot)
 		seu.Merge(a.seu)
 		mbu.Merge(a.mbu)
 		hits += a.hits
+		busyNs += a.busyNs
+	}
+	if m != nil {
+		m.Particles.Add(int64(iters))
+		m.Hits.Add(int64(hits))
+		m.Misses.Add(int64(iters - hits))
+		m.WorkerBusyNs.Add(busyNs)
+		wallNs := time.Since(wallStart).Nanoseconds() * int64(workers)
+		m.WallNs.Add(wallNs)
+		if wallNs > 0 {
+			m.WorkerUtilization.Set(float64(busyNs) / float64(wallNs))
+		}
 	}
 	return POFPoint{
 		EnergyMeV: energyMeV,
@@ -544,9 +590,17 @@ func (e *Engine) FIT(spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBi
 		Vdd:     e.cfg.Char.SupplyVoltage(),
 		Bins:    bins,
 	}
+	stage := "fit/" + spec.Species().String()
+	fitSpan := e.cfg.Metrics.span(stage)
+	defer fitSpan.End()
+	tracker := obs.NewTracker(e.cfg.Progress, stage, int64(len(bins)*itersPerBin), 0)
+	defer tracker.Finish()
 	src := rng.New(seed)
-	for _, b := range bins {
+	for i, b := range bins {
+		binSpan := fitSpan.Child(fmt.Sprintf("bin%02d@%.3gMeV", i, b.Rep))
 		pt := e.POFAtEnergy(spec.Species(), b.Rep, itersPerBin, src.Uint64())
+		binSpan.End()
+		tracker.Add(int64(itersPerBin))
 		res.Points = append(res.Points, pt)
 		res.TotalFIT += pt.Tot * b.IntFlux * area * fitScale
 		res.SEUFIT += pt.SEU * b.IntFlux * area * fitScale

@@ -1,0 +1,76 @@
+package core
+
+import "finser/internal/obs"
+
+// Metrics is the array engine's observability hook: per-particle statistics
+// (hit/miss, struck-cell multiplicity, deposit mode), per-worker busy time,
+// and — through the owning registry — per-stage spans for the FIT
+// integration. Leave Config.Metrics nil (the default) for the zero-cost
+// uninstrumented engine; the hot strike loop performs a single nil check.
+type Metrics struct {
+	// Particles counts Monte-Carlo particles generated.
+	Particles *obs.Counter
+	// Hits counts particles that charged ≥ 1 sensitive transistor; Misses
+	// counts the rest. Hits + Misses == Particles on a completed run.
+	Hits   *obs.Counter
+	Misses *obs.Counter
+	// StruckCellMultiplicity is the histogram of cells charged per hitting
+	// particle (buckets 1..8, overflow beyond) — Gomi-style event-wise
+	// multiplicity statistics.
+	StruckCellMultiplicity *obs.Histogram
+	// DepositsTransport / DepositsLUT count particles whose fin deposits
+	// were resolved by full transport vs the paper's mean-yield LUT.
+	DepositsTransport *obs.Counter
+	DepositsLUT       *obs.Counter
+	// WorkerBusyNs accumulates per-worker busy wall time; WallNs
+	// accumulates (wall time × workers) per parallel region. Their ratio
+	// is the fleet utilization, published in WorkerUtilization after every
+	// POFAtEnergy call.
+	WorkerBusyNs      *obs.Counter
+	WallNs            *obs.Counter
+	WorkerUtilization *obs.Gauge
+
+	reg *obs.Registry // for FIT stage spans; nil disables them
+}
+
+// NewMetrics registers the engine counters on r under the "core." prefix.
+// Returns nil when r is nil, preserving the no-op path.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Particles:              r.Counter("core.particles_generated"),
+		Hits:                   r.Counter("core.hits"),
+		Misses:                 r.Counter("core.misses"),
+		StruckCellMultiplicity: r.Histogram("core.struck_cell_multiplicity", obs.LinearBuckets(1, 1, 8)),
+		DepositsTransport:      r.Counter("core.deposits_transport"),
+		DepositsLUT:            r.Counter("core.deposits_lut"),
+		WorkerBusyNs:           r.Counter("core.worker_busy_ns"),
+		WallNs:                 r.Counter("core.wall_ns"),
+		WorkerUtilization:      r.Gauge("core.worker_utilization"),
+		reg:                    r,
+	}
+}
+
+// HitRate returns hits/(hits+misses) — the MC hit rate so far (0 when no
+// particles have run). Nil-safe.
+func (m *Metrics) HitRate() float64 {
+	if m == nil {
+		return 0
+	}
+	h := m.Hits.Value()
+	n := h + m.Misses.Value()
+	if n == 0 {
+		return 0
+	}
+	return float64(h) / float64(n)
+}
+
+// span starts a named stage span on the owning registry (nil-safe).
+func (m *Metrics) span(name string) *obs.Span {
+	if m == nil {
+		return nil
+	}
+	return m.reg.StartSpan(name)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is one progress report from a long-running stage.
+type Progress struct {
+	// Stage names the pipeline phase ("characterize", "fit/alpha", ...).
+	Stage string
+	// Done and Total count work units; Total ≤ 0 means unknown.
+	Done, Total int64
+	// Elapsed is the wall time since the stage started.
+	Elapsed time.Duration
+	// ETA is the projected remaining time at the current rate; negative
+	// when unknown (no progress yet, or Total unknown).
+	ETA time.Duration
+	// Rate is work units per second since the stage started.
+	Rate float64
+	// Final marks the last report of the stage (Done == Total or the stage
+	// was explicitly finished).
+	Final bool
+}
+
+// ProgressFunc consumes progress reports. Implementations must be safe for
+// concurrent calls; the tracker throttles, so calls are infrequent.
+type ProgressFunc func(Progress)
+
+// Tracker turns high-frequency Add calls into throttled ProgressFunc
+// reports with rate and ETA attached. A nil *Tracker accepts all calls and
+// does nothing, so stages can be instrumented unconditionally.
+type Tracker struct {
+	fn       ProgressFunc
+	stage    string
+	total    int64
+	start    time.Time
+	minGap   time.Duration
+	done     atomic.Int64
+	lastEmit atomic.Int64 // ns since start of last emission
+	finished atomic.Bool
+}
+
+// NewTracker starts a progress tracker for one stage. fn may be nil, in
+// which case the returned tracker is nil (the no-op). minGap throttles
+// emissions; ≤ 0 selects 200 ms.
+func NewTracker(fn ProgressFunc, stage string, total int64, minGap time.Duration) *Tracker {
+	if fn == nil {
+		return nil
+	}
+	if minGap <= 0 {
+		minGap = 200 * time.Millisecond
+	}
+	return &Tracker{fn: fn, stage: stage, total: total, start: time.Now(), minGap: minGap}
+}
+
+// Add records n completed work units, emitting a throttled report.
+// No-op on a nil tracker.
+func (t *Tracker) Add(n int64) {
+	if t == nil {
+		return
+	}
+	done := t.done.Add(n)
+	now := time.Since(t.start)
+	if t.total > 0 && done >= t.total {
+		t.Finish()
+		return
+	}
+	last := t.lastEmit.Load()
+	if now.Nanoseconds()-last < t.minGap.Nanoseconds() {
+		return
+	}
+	if !t.lastEmit.CompareAndSwap(last, now.Nanoseconds()) {
+		return // another goroutine is emitting
+	}
+	t.fn(t.report(done, now, false))
+}
+
+// Finish emits the final report (idempotent). No-op on a nil tracker.
+func (t *Tracker) Finish() {
+	if t == nil || !t.finished.CompareAndSwap(false, true) {
+		return
+	}
+	t.fn(t.report(t.done.Load(), time.Since(t.start), true))
+}
+
+func (t *Tracker) report(done int64, elapsed time.Duration, final bool) Progress {
+	p := Progress{
+		Stage:   t.stage,
+		Done:    done,
+		Total:   t.total,
+		Elapsed: elapsed,
+		ETA:     -1,
+		Final:   final,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		p.Rate = float64(done) / sec
+	}
+	if final {
+		p.ETA = 0
+	} else if t.total > 0 && done > 0 {
+		p.ETA = time.Duration(float64(elapsed) / float64(done) * float64(t.total-done))
+	}
+	return p
+}
+
+// Printer returns a ProgressFunc that renders reports as single lines on w
+// (percentage, rate, ETA) — the live stderr view behind serflow -progress.
+func Printer(w io.Writer) ProgressFunc {
+	var mu sync.Mutex
+	return func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		var b strings.Builder
+		fmt.Fprintf(&b, "[%-18s] ", p.Stage)
+		if p.Total > 0 {
+			fmt.Fprintf(&b, "%d/%d (%.1f%%)", p.Done, p.Total, 100*float64(p.Done)/float64(p.Total))
+		} else {
+			fmt.Fprintf(&b, "%d", p.Done)
+		}
+		if p.Rate > 0 {
+			fmt.Fprintf(&b, "  %s/s", formatRate(p.Rate))
+		}
+		if p.Final {
+			fmt.Fprintf(&b, "  done in %s", p.Elapsed.Round(time.Millisecond))
+		} else if p.ETA >= 0 {
+			fmt.Fprintf(&b, "  ETA %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+func formatRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.1f", r)
+	}
+}

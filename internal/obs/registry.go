@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of metrics and span statistics. Metric
+// accessors create on first use, so instrumented code can ask for the same
+// name from many goroutines. All methods are nil-receiver no-ops, making a
+// nil *Registry the "observability off" switch for an entire flow.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*spanStat
+	spanSeq  int // first-seen order, for stable reporting
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*spanStat{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds). Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// BucketCount is one histogram bucket in a snapshot. Le is the inclusive
+// upper bound; the overflow bucket is reported separately.
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of one histogram.
+type HistogramSnapshot struct {
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Mean     float64       `json:"mean"`
+	Min      float64       `json:"min,omitempty"`
+	Max      float64       `json:"max,omitempty"`
+	Buckets  []BucketCount `json:"buckets"`
+	Overflow int64         `json:"overflow"`
+}
+
+// SpanSnapshot is the aggregated timing of one span path. Count > 1 means
+// the stage ran repeatedly (e.g. one span per energy bin under a shared
+// parent).
+type SpanSnapshot struct {
+	Path         string  `json:"path"`
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	LastSeconds  float64 `json:"last_seconds"`
+}
+
+// Snapshot is a point-in-time JSON-serializable view of the registry.
+type Snapshot struct {
+	TakenAt       time.Time                    `json:"taken_at"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans         []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// Snapshot captures the current state of every metric. Safe to call while
+// writers are active (values are read atomically, though not as one
+// consistent cut). Returns the zero Snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		TakenAt:       time.Now(),
+		UptimeSeconds: time.Since(r.start).Seconds(),
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = snapshotHistogram(h)
+		}
+	}
+	for path, st := range r.spans {
+		s.Spans = append(s.Spans, SpanSnapshot{
+			Path:         path,
+			Count:        st.count,
+			TotalSeconds: st.total.Seconds(),
+			MinSeconds:   st.min.Seconds(),
+			MaxSeconds:   st.max.Seconds(),
+			LastSeconds:  st.last.Seconds(),
+		})
+	}
+	order := r.spans // capture for the closure below
+	sort.Slice(s.Spans, func(i, j int) bool {
+		return order[s.Spans[i].Path].seq < order[s.Spans[j].Path].seq
+	})
+	return s
+}
+
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Mean:    h.Mean(),
+		Buckets: make([]BucketCount, len(h.bounds)),
+	}
+	for i, b := range h.bounds {
+		hs.Buckets[i] = BucketCount{Le: b, Count: h.counts[i].Load()}
+	}
+	hs.Overflow = h.counts[len(h.bounds)].Load()
+	if hs.Count > 0 {
+		hs.Min = h.minValue()
+		hs.Max = h.maxValue()
+	}
+	return hs
+}
+
+func (h *Histogram) minValue() float64 {
+	return floatFromBits(&h.minBits)
+}
+
+func (h *Histogram) maxValue() float64 {
+	return floatFromBits(&h.maxBits)
+}
+
+// WriteJSON writes an indented JSON snapshot. No-op on a nil registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+var expvarPublished sync.Map // name → struct{}; expvar.Publish panics on reuse
+
+// PublishExpvar registers the registry under the given expvar name, making
+// the live snapshot available at /debug/vars on any default-mux HTTP
+// listener (e.g. the one net/http/pprof installs). Idempotent per name;
+// no-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if _, loaded := expvarPublished.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"time"
+)
+
+// spanStat is the aggregated timing of one span path.
+type spanStat struct {
+	seq   int
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+	last  time.Duration
+}
+
+// Span measures the wall time of one named pipeline stage. Spans nest:
+// Child returns a span whose path is parent-path + "/" + name, so the
+// snapshot reads as a tree ("flow", "flow/characterize", ...). End records
+// the duration into the owning registry; repeated spans on the same path
+// aggregate (count, total, min, max, last).
+type Span struct {
+	r     *Registry
+	path  string
+	start time.Time
+	ended bool
+}
+
+// StartSpan begins a top-level span. Returns nil (a no-op span) on a nil
+// registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, path: name, start: time.Now()}
+}
+
+// Child begins a nested span under s. Nil-safe: a child of a nil span is
+// nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+}
+
+// Path returns the span's full path ("" on a nil span).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// End records the elapsed wall time and returns it. Safe to call more than
+// once (only the first call records); no-op on a nil span.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.r.recordSpan(s.path, d)
+	return d
+}
+
+func (r *Registry) recordSpan(path string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.spans[path]
+	if !ok {
+		st = &spanStat{seq: r.spanSeq, min: d, max: d}
+		r.spanSeq++
+		r.spans[path] = st
+	}
+	st.count++
+	st.total += d
+	st.last = d
+	if d < st.min {
+		st.min = d
+	}
+	if d > st.max {
+		st.max = d
+	}
+}

@@ -158,6 +158,7 @@ type Cell struct {
 	blNode  circuit.Node
 	init    circuit.Solution
 	strikes [NumAxes]*settableWaveform
+	metrics *Metrics // nil = uninstrumented (see SetMetrics)
 }
 
 // settableWaveform lets strike sources be re-armed between simulations
@@ -314,7 +315,14 @@ func (c *Cell) SimulateStrike(charges [NumAxes]float64, shape PulseShape) (Strik
 		return StrikeResult{}, fmt.Errorf("sram: strike transient: %w", err)
 	}
 	q, qb := res.Final(c.q), res.Final(c.qb)
-	return StrikeResult{Flipped: q > qb, QFinal: q, QBFinal: qb}, nil
+	out := StrikeResult{Flipped: q > qb, QFinal: q, QBFinal: qb}
+	if m := c.metrics; m != nil {
+		m.FlipSims.Inc()
+		if out.Flipped {
+			m.Flips.Inc()
+		}
+	}
+	return out, nil
 }
 
 // buildPulse constructs a charge-carrying pulse of the requested shape.
@@ -342,6 +350,9 @@ func (c *Cell) CriticalCharge(axis Axis, lo, hi float64, shape PulseShape) (floa
 		return 0, fmt.Errorf("sram: need 0 < lo < hi, got %g, %g", lo, hi)
 	}
 	flipAt := func(q float64) (bool, error) {
+		if m := c.metrics; m != nil {
+			m.BisectionSteps.Inc()
+		}
 		var ch [NumAxes]float64
 		ch[axis] = q
 		r, err := c.SimulateStrike(ch, shape)

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"finser/internal/finfet"
+	"finser/internal/obs"
 	"finser/internal/rng"
 	"finser/internal/stats"
 )
@@ -40,6 +41,12 @@ type CharConfig struct {
 	BaseShifts VthShifts
 	// Shape is the injected pulse shape (the paper's model is rectangular).
 	Shape PulseShape
+	// Metrics, when non-nil, receives characterization and solver counters.
+	// Nil costs nothing.
+	Metrics *Metrics
+	// Progress, when non-nil, receives throttled done/total/ETA reports as
+	// variation samples complete.
+	Progress obs.ProgressFunc
 }
 
 func (c CharConfig) withDefaults() CharConfig {
@@ -119,6 +126,7 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 					results <- res
 					continue
 				}
+				cell.SetMetrics(cfg.Metrics)
 				for a := AxisI1; a < NumAxes; a++ {
 					qc, err := cell.CriticalCharge(a, cfg.ChargeLo, cfg.ChargeHi, cfg.Shape)
 					if err != nil {
@@ -144,8 +152,13 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 	for a := range ch.Axis {
 		ch.Axis[a] = make([]float64, cfg.Samples)
 	}
+	tracker := obs.NewTracker(cfg.Progress, "characterize", int64(cfg.Samples), 0)
 	var firstErr error
 	for res := range results {
+		if m := cfg.Metrics; m != nil {
+			m.VariationSamples.Inc()
+		}
+		tracker.Add(1)
 		if res.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("sram: sample %d: %w", res.idx, res.err)
@@ -156,6 +169,7 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 			ch.Axis[a][res.idx] = res.qcrit[a]
 		}
 	}
+	tracker.Finish()
 	if firstErr != nil {
 		return nil, firstErr
 	}

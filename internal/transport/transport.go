@@ -16,6 +16,7 @@ import (
 
 	"finser/internal/geom"
 	"finser/internal/lut"
+	"finser/internal/obs"
 	"finser/internal/phys"
 	"finser/internal/rng"
 	"finser/internal/stats"
@@ -42,6 +43,33 @@ type Config struct {
 	// covering carriers lost to the BOX or recombined at interfaces.
 	// Zero selects 1.0 (the paper assumes full drift collection in the fin).
 	CollectionEfficiency float64
+	// Metrics, when non-nil, receives transport counters (rays traced, fin
+	// intersections, segments deposited). Nil costs nothing.
+	Metrics *Metrics
+}
+
+// Metrics is the transport layer's observability hook.
+type Metrics struct {
+	// RaysTraced counts Trace calls (one particle track each).
+	RaysTraced *obs.Counter
+	// FinIntersections counts fin boxes the traced rays crossed.
+	FinIntersections *obs.Counter
+	// SegmentsDeposited counts fin chords that actually deposited energy
+	// (intersections can range out before depositing).
+	SegmentsDeposited *obs.Counter
+}
+
+// NewMetrics registers the transport counters on r under the "transport."
+// prefix. Returns nil when r is nil, preserving the no-op path.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		RaysTraced:        r.Counter("transport.rays_traced"),
+		FinIntersections:  r.Counter("transport.fin_intersections"),
+		SegmentsDeposited: r.Counter("transport.segments_deposited"),
+	}
 }
 
 // DefaultConfig returns the configuration used throughout the flow:
@@ -105,6 +133,10 @@ func Trace(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []
 			hits = append(hits, hit{fin: i, tIn: tIn, tOut: tOut})
 		}
 	}
+	if m := cfg.Metrics; m != nil {
+		m.RaysTraced.Inc()
+		m.FinIntersections.Add(int64(len(hits)))
+	}
 	if len(hits) == 0 {
 		return nil
 	}
@@ -137,6 +169,9 @@ func Trace(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []
 		if h.tOut > cursor {
 			cursor = h.tOut
 		}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.SegmentsDeposited.Add(int64(len(out)))
 	}
 	return out
 }
