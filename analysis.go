@@ -1,6 +1,7 @@
 package finser
 
 import (
+	"context"
 	"errors"
 
 	"finser/internal/geom"
@@ -44,6 +45,13 @@ func FinYieldCurve(tech Technology, sp Species, energiesMeV []float64, iters int
 // series): the probability of at least one bit flip given a particle of
 // that energy striking the array footprint.
 func POFCurve(e *Engine, sp Species, energiesMeV []float64, itersPerEnergy int, seed uint64) ([]POFPoint, error) {
+	return POFCurveCtx(context.Background(), e, sp, energiesMeV, itersPerEnergy, seed)
+}
+
+// POFCurveCtx is POFCurve with cooperative cancellation between (and
+// inside) energy points; a worker panic fails the curve with a stack-
+// carrying error instead of crashing the process.
+func POFCurveCtx(ctx context.Context, e *Engine, sp Species, energiesMeV []float64, itersPerEnergy int, seed uint64) ([]POFPoint, error) {
 	if len(energiesMeV) == 0 {
 		return nil, errors.New("finser: POFCurve needs energies")
 	}
@@ -53,7 +61,11 @@ func POFCurve(e *Engine, sp Species, energiesMeV []float64, itersPerEnergy int, 
 	src := rng.New(seed)
 	out := make([]POFPoint, 0, len(energiesMeV))
 	for _, en := range energiesMeV {
-		out = append(out, e.POFAtEnergy(sp, en, itersPerEnergy, src.Uint64()))
+		pt, err := e.POFAtEnergyCtx(ctx, sp, en, itersPerEnergy, src.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -9,22 +9,40 @@
 //	serflow -vdd 0.8 -rows 16 -cols 16 -json results.json
 //	serflow -vdd 0.8 -progress -metrics m.json  # live ETA + metrics snapshot
 //	serflow -vdd 0.8 -pprof localhost:6060      # pprof + /debug/vars expvar
+//
+// Long runs are interruptible and resumable: Ctrl-C (or SIGTERM) cancels
+// the flow cooperatively, flushes whatever completed (partial JSON results,
+// metrics snapshot) and exits nonzero. With -checkpoint, every completed
+// FIT energy bin is persisted, and rerunning with -resume continues from
+// the last completed bin, reproducing the uninterrupted result
+// bit-identically:
+//
+//	serflow -vdd 0.8 -checkpoint run.ck.json -json out.json   # interrupted…
+//	serflow -vdd 0.8 -checkpoint run.ck.json -resume -json out.json
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"finser"
 )
+
+// interruptExitCode is the conventional exit status for a SIGINT-style
+// termination (128 + SIGINT).
+const interruptExitCode = 130
 
 func main() {
 	log.SetFlags(0)
@@ -44,12 +62,19 @@ func main() {
 		progress = flag.Bool("progress", false, "print live per-stage progress with ETA on stderr")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (counters, histograms, stage spans) to this file")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		ckPath   = flag.String("checkpoint", "", "persist completed FIT energy bins to this JSON file so the run can be resumed")
+		resume   = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); a resumed checkpoint requires the same effective value")
 	)
 	flag.Parse()
 
 	cfg, vdds, err := buildConfig(*vddList, *rows, *cols, *pv, *samples, *iters, *pattern, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	cfg.Workers = *workers
+	if *resume && *ckPath == "" {
+		log.Fatal("-resume requires -checkpoint")
 	}
 
 	var reg *finser.Metrics
@@ -82,6 +107,31 @@ func main() {
 		fmt.Printf("pprof + expvar on http://%s/debug/pprof and /debug/vars\n", *pprof)
 	}
 
+	if *ckPath != "" {
+		var store *finser.CheckpointStore
+		var err error
+		if *resume {
+			store, err = finser.ResumeCheckpoint(*ckPath, cfg, vdds)
+		} else {
+			store, err = finser.CreateCheckpoint(*ckPath, cfg, vdds)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Checkpoint = store
+		if *resume {
+			fmt.Printf("resuming from checkpoint %s (%d stage(s) restored)\n",
+				*ckPath, len(store.Stages()))
+		}
+	}
+
+	// Ctrl-C / SIGTERM cancel the flow cooperatively: worker loops stop
+	// within milliseconds, partial results and metrics are flushed below,
+	// and a second signal kills the process the hard way (NotifyContext
+	// restores default handling once the context is cancelled).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Printf("cross-layer SER flow: %dx%d SRAM array, 14nm SOI FinFET, PV=%v (%d samples), %d particles/bin\n\n",
 		*rows, *cols, *pv, *samples, *iters)
 	fmt.Printf("%6s  %14s %12s %12s %9s  %14s %12s %12s %9s\n",
@@ -92,8 +142,19 @@ func main() {
 		c := cfg
 		c.Vdd = vdd
 		start := time.Now()
-		res, err := finser.RunFlow(c)
+		res, err := finser.RunFlowCtx(ctx, c)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				flush(results, reg, *jsonOut, metricsFile, *metrics)
+				log.Printf("interrupted at vdd %g: %v", vdd, err)
+				if *ckPath != "" {
+					log.Printf("rerun with -checkpoint %s -resume to continue", *ckPath)
+				}
+				os.Exit(interruptExitCode)
+			}
+			// A stage failure still salvages the completed voltages before
+			// exiting nonzero.
+			flush(results, reg, *jsonOut, metricsFile, *metrics)
 			log.Fatalf("vdd %g: %v", vdd, err)
 		}
 		results = append(results, res)
@@ -113,24 +174,35 @@ func main() {
 		}
 	}
 
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
+	flush(results, reg, *jsonOut, metricsFile, *metrics)
+}
+
+// flush writes whatever results exist (possibly none) to the -json file
+// and snapshots metrics — shared by the happy path and the interrupted /
+// failed exits so partial work is never discarded silently.
+func flush(results []*finser.FlowResult, reg *finser.Metrics, jsonOut string, metricsFile *os.File, metricsPath string) {
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+		} else {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				log.Print(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Print(err)
+			}
+			fmt.Printf("\nwrote %s (%d voltage(s))\n", jsonOut, len(results))
 		}
-		defer f.Close()
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 	if metricsFile != nil {
 		if err := writeMetrics(reg, metricsFile); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+		} else {
+			fmt.Printf("wrote metrics snapshot %s\n", metricsPath)
 		}
-		fmt.Printf("wrote metrics snapshot %s\n", *metrics)
 	}
 }
 

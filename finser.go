@@ -18,12 +18,16 @@
 package finser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
+	"finser/internal/checkpoint"
 	"finser/internal/core"
 	"finser/internal/ecc"
+	"finser/internal/faultinject"
 	"finser/internal/finfet"
 	"finser/internal/lifetime"
 	"finser/internal/neutron"
@@ -106,7 +110,37 @@ type (
 	Progress = obs.Progress
 	// ProgressFunc consumes progress reports.
 	ProgressFunc = obs.ProgressFunc
+	// CheckpointStore is an on-disk checkpoint that persists each completed
+	// FIT energy bin so an interrupted sweep resumes bit-identically
+	// (serflow -checkpoint / -resume). Build one with CreateCheckpoint or
+	// ResumeCheckpoint; a nil store disables checkpointing.
+	CheckpointStore = checkpoint.Store
+	// FaultHooks injects deterministic failures (worker panics, solver
+	// errors, cancellation) at named sites inside the long-running stages —
+	// for robustness tests only. A nil *FaultHooks is the zero-cost
+	// production configuration.
+	FaultHooks = faultinject.Hooks
+	// PanicError is the stack-carrying error a recovered worker panic
+	// surfaces as; use errors.As to retrieve the stack.
+	PanicError = faultinject.PanicError
 )
+
+// NewFaultHooks returns an empty fault-injection hook set (tests only).
+func NewFaultHooks() *FaultHooks { return faultinject.New() }
+
+// Fault-injection sites reachable through FlowConfig.Faults.
+const (
+	// FaultSiteParticle is hit once per array-MC particle inside the FIT
+	// worker loops.
+	FaultSiteParticle = core.FaultSiteParticle
+	// FaultSiteSample is hit once per process-variation sample inside the
+	// characterization workers.
+	FaultSiteSample = sram.FaultSiteSample
+)
+
+// ErrCheckpointMismatch is returned by ResumeCheckpoint when the file was
+// written under a different configuration (use errors.Is).
+var ErrCheckpointMismatch = checkpoint.ErrConfigMismatch
 
 // NewMetrics returns an empty metrics registry for FlowConfig.Obs (and for
 // the layer-level Metrics fields in CharConfig / EngineConfig /
@@ -192,6 +226,13 @@ func DefaultTransport() TransportConfig { return transport.DefaultConfig() }
 // Characterize runs the circuit-level cell POF characterization.
 func Characterize(cfg CharConfig) (*Characterization, error) {
 	return sram.Characterize(cfg)
+}
+
+// CharacterizeCtx is Characterize with cooperative cancellation and worker
+// panic isolation: a cancelled context stops the variation Monte Carlo
+// within a sample and returns ctx.Err() wrapped with the stage identity.
+func CharacterizeCtx(ctx context.Context, cfg CharConfig) (*Characterization, error) {
+	return sram.CharacterizeCtx(ctx, cfg)
 }
 
 // NewEngine builds an array SER engine.
@@ -295,11 +336,40 @@ type FlowConfig struct {
 	// Progress, when non-nil, receives throttled done/total/ETA reports
 	// from the characterization and FIT stages.
 	Progress ProgressFunc
+	// Checkpoint, when non-nil, persists every completed FIT energy bin so
+	// an interrupted run resumes bit-identically from the last completed
+	// bin. Build it with CreateCheckpoint (fresh run) or ResumeCheckpoint
+	// (continue an interrupted one); the store rejects resuming under a
+	// different configuration.
+	Checkpoint *CheckpointStore
+	// Faults, when non-nil, injects deterministic failures into the worker
+	// loops — robustness tests only. Nil (the default) is zero-cost.
+	Faults *FaultHooks
 }
 
 func (c FlowConfig) withDefaults() (FlowConfig, error) {
 	if c.Vdd <= 0 {
 		return c, errors.New("finser: FlowConfig.Vdd must be positive")
+	}
+	// Negative budgets and dimensions are always mistakes; fail here with
+	// the field name instead of a confusing error (or hang) layers deeper.
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"Samples", c.Samples},
+		{"ItersPerBin", c.ItersPerBin},
+		{"Rows", c.Rows},
+		{"Cols", c.Cols},
+		{"AlphaBins", c.AlphaBins},
+		{"ProtonBins", c.ProtonBins},
+	} {
+		if f.v < 0 {
+			return c, fmt.Errorf("finser: FlowConfig.%s must not be negative, got %d", f.name, f.v)
+		}
+	}
+	if !c.Pattern.Valid() {
+		return c, fmt.Errorf("finser: FlowConfig.Pattern unknown (%d)", c.Pattern)
 	}
 	if c.Tech.Name == "" {
 		c.Tech = Default14nmSOI()
@@ -344,6 +414,16 @@ type FlowResult struct {
 // cell, build the array engine, and integrate FIT rates for both the alpha
 // and proton environments.
 func RunFlow(cfg FlowConfig) (*FlowResult, error) {
+	return RunFlowCtx(context.Background(), cfg)
+}
+
+// RunFlowCtx is RunFlow with cooperative cancellation threaded through
+// every long-running stage: a cancelled or expired context stops the
+// characterization and FIT worker loops within milliseconds, and the
+// returned error wraps ctx.Err() with the identity of the stage that was
+// interrupted. With cfg.Checkpoint set, completed FIT bins survive the
+// interruption and a rerun resumes from them.
+func RunFlowCtx(ctx context.Context, cfg FlowConfig) (*FlowResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -351,7 +431,7 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 	flow := cfg.Obs.StartSpan("flow")
 	defer flow.End()
 	charSpan := flow.Child("characterize")
-	char, err := Characterize(CharConfig{
+	char, err := CharacterizeCtx(ctx, CharConfig{
 		Tech:             cfg.Tech,
 		Vdd:              cfg.Vdd,
 		Samples:          cfg.Samples,
@@ -360,33 +440,39 @@ func RunFlow(cfg FlowConfig) (*FlowResult, error) {
 		Workers:          cfg.Workers,
 		Metrics:          sram.NewMetrics(cfg.Obs),
 		Progress:         cfg.Progress,
+		Faults:           cfg.Faults,
 	})
 	charSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: characterize: %w", err)
 	}
-	return runFlowWithChar(cfg, char, flow)
+	return runFlowWithChar(ctx, cfg, char, flow)
 }
 
 // RunFlowWithChar is RunFlow with a pre-built characterization — useful for
 // sweeps that vary only the environment.
 func RunFlowWithChar(cfg FlowConfig, char *Characterization) (*FlowResult, error) {
+	return RunFlowWithCharCtx(context.Background(), cfg, char)
+}
+
+// RunFlowWithCharCtx is RunFlowWithChar with cooperative cancellation.
+func RunFlowWithCharCtx(ctx context.Context, cfg FlowConfig, char *Characterization) (*FlowResult, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	flow := cfg.Obs.StartSpan("flow")
 	defer flow.End()
-	return runFlowWithChar(cfg, char, flow)
+	return runFlowWithChar(ctx, cfg, char, flow)
 }
 
 // runFlowWithChar runs the environment half of the flow under the given
 // (possibly nil) flow span; cfg must already carry defaults.
-func runFlowWithChar(cfg FlowConfig, char *Characterization, flow *obs.Span) (*FlowResult, error) {
+func runFlowWithChar(ctx context.Context, cfg FlowConfig, char *Characterization, flow *obs.Span) (*FlowResult, error) {
 	transportCfg := DefaultTransport()
 	transportCfg.Metrics = transport.NewMetrics(cfg.Obs)
 	buildSpan := flow.Child("engine-build")
-	eng, err := NewEngine(EngineConfig{
+	engCfg := EngineConfig{
 		Tech:      cfg.Tech,
 		Rows:      cfg.Rows,
 		Cols:      cfg.Cols,
@@ -396,7 +482,15 @@ func runFlowWithChar(cfg FlowConfig, char *Characterization, flow *obs.Span) (*F
 		Workers:   cfg.Workers,
 		Metrics:   core.NewMetrics(cfg.Obs),
 		Progress:  cfg.Progress,
-	})
+		Faults:    cfg.Faults,
+	}
+	if cfg.Checkpoint != nil {
+		// Guarded assignment: a typed-nil *CheckpointStore must not become
+		// a non-nil interface inside the engine.
+		engCfg.Checkpoint = cfg.Checkpoint
+		engCfg.CheckpointPrefix = fmt.Sprintf("vdd%g/", cfg.Vdd)
+	}
+	eng, err := NewEngine(engCfg)
 	buildSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: engine: %w", err)
@@ -425,13 +519,13 @@ func runFlowWithChar(cfg FlowConfig, char *Characterization, flow *obs.Span) (*F
 
 	res := &FlowResult{Vdd: cfg.Vdd, Char: char}
 	fitAlpha := flow.Child("fit-alpha")
-	res.Alpha, err = eng.FIT(alphaSpec, alphaBins, cfg.ItersPerBin, cfg.Seed+1)
+	res.Alpha, err = eng.FITCtx(ctx, alphaSpec, alphaBins, cfg.ItersPerBin, cfg.Seed+1)
 	fitAlpha.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: alpha FIT: %w", err)
 	}
 	fitProton := flow.Child("fit-proton")
-	res.Proton, err = eng.FIT(protonSpec, protonBins, cfg.ItersPerBin, cfg.Seed+2)
+	res.Proton, err = eng.FITCtx(ctx, protonSpec, protonBins, cfg.ItersPerBin, cfg.Seed+2)
 	fitProton.End()
 	if err != nil {
 		return nil, fmt.Errorf("finser: proton FIT: %w", err)
@@ -439,9 +533,38 @@ func runFlowWithChar(cfg FlowConfig, char *Characterization, flow *obs.Span) (*F
 	return res, nil
 }
 
+// SweepError reports the voltage at which a Vdd sweep failed. RunVddSweep
+// returns it alongside the results of every voltage completed before the
+// failure, so hours of finished characterization and FIT work survive a
+// late fault. Unwrap exposes the underlying stage error (including
+// context.Canceled for interrupted sweeps).
+type SweepError struct {
+	// Vdd is the supply voltage whose flow failed.
+	Vdd float64
+	// Completed is the number of voltages that finished before the failure.
+	Completed int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("finser: vdd %g (after %d completed): %v", e.Vdd, e.Completed, e.Err)
+}
+
+func (e *SweepError) Unwrap() error { return e.Err }
+
 // RunVddSweep runs the flow across supply voltages (the Figs. 9–11 sweep).
-// Each voltage gets its own cell characterization.
+// Each voltage gets its own cell characterization. On failure it returns
+// the results of every completed voltage together with a *SweepError
+// naming the voltage that failed — partial work is never discarded.
 func RunVddSweep(cfg FlowConfig, vdds []float64) ([]*FlowResult, error) {
+	return RunVddSweepCtx(context.Background(), cfg, vdds)
+}
+
+// RunVddSweepCtx is RunVddSweep with cooperative cancellation; an
+// interrupted sweep returns the completed voltages plus a *SweepError
+// wrapping ctx.Err().
+func RunVddSweepCtx(ctx context.Context, cfg FlowConfig, vdds []float64) ([]*FlowResult, error) {
 	if len(vdds) == 0 {
 		return nil, errors.New("finser: empty vdd sweep")
 	}
@@ -449,11 +572,87 @@ func RunVddSweep(cfg FlowConfig, vdds []float64) ([]*FlowResult, error) {
 	for _, v := range vdds {
 		c := cfg
 		c.Vdd = v
-		r, err := RunFlow(c)
+		r, err := RunFlowCtx(ctx, c)
 		if err != nil {
-			return nil, fmt.Errorf("finser: vdd %g: %w", v, err)
+			return out, &SweepError{Vdd: v, Completed: len(out), Err: err}
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// flowFingerprint is the hashable identity of a sweep: every FlowConfig
+// field that influences the numerical result, with defaults resolved, plus
+// the voltage list. Observability and checkpoint wiring are deliberately
+// excluded — they do not change the numbers.
+type flowFingerprint struct {
+	Tech             Technology
+	Rows, Cols       int
+	Vdds             []float64
+	ProcessVariation bool
+	Samples          int
+	ItersPerBin      int
+	AlphaRate        float64
+	ProtonScale      float64
+	AlphaBins        int
+	ProtonBins       int
+	Pattern          DataPattern
+	Seed             uint64
+	// Workers changes the per-worker RNG substream split, so a checkpoint
+	// is only bit-exact when resumed with the same effective parallelism.
+	Workers int
+}
+
+// fingerprint hashes the result-determining subset of cfg and the voltage
+// list. cfg.Vdd itself is ignored (the list is authoritative).
+func flowConfigFingerprint(cfg FlowConfig, vdds []float64) (string, error) {
+	c := cfg
+	c.Vdd = 1 // withDefaults requires a positive Vdd; the value is not hashed
+	c, err := c.withDefaults()
+	if err != nil {
+		return "", err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return checkpoint.Fingerprint(flowFingerprint{
+		Tech:             c.Tech,
+		Rows:             c.Rows,
+		Cols:             c.Cols,
+		Vdds:             vdds,
+		ProcessVariation: c.ProcessVariation,
+		Samples:          c.Samples,
+		ItersPerBin:      c.ItersPerBin,
+		AlphaRate:        c.AlphaRate,
+		ProtonScale:      c.ProtonScale,
+		AlphaBins:        c.AlphaBins,
+		ProtonBins:       c.ProtonBins,
+		Pattern:          c.Pattern,
+		Seed:             c.Seed,
+		Workers:          workers,
+	})
+}
+
+// CreateCheckpoint starts a fresh checkpoint file at path for the given
+// sweep configuration, overwriting any existing file. Assign the returned
+// store to FlowConfig.Checkpoint before running.
+func CreateCheckpoint(path string, cfg FlowConfig, vdds []float64) (*CheckpointStore, error) {
+	hash, err := flowConfigFingerprint(cfg, vdds)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Create(path, hash)
+}
+
+// ResumeCheckpoint opens the checkpoint file of an interrupted sweep. It
+// rejects a file written under a different configuration (different
+// physics, budgets, seed, voltage list, or effective worker count), since
+// resuming such a run could silently mix incompatible Monte-Carlo data.
+func ResumeCheckpoint(path string, cfg FlowConfig, vdds []float64) (*CheckpointStore, error) {
+	hash, err := flowConfigFingerprint(cfg, vdds)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Resume(path, hash)
 }

@@ -1,0 +1,135 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type binState struct {
+	Seeds  []uint64  `json:"seeds"`
+	Values []float64 `json:"values"`
+}
+
+func TestCreateSaveResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	hash, err := Fingerprint(map[string]int{"rows": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Create(path, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := binState{Seeds: []uint64{1, 2, 3}, Values: []float64{0.5, 0.25}}
+	if err := s.Save("fit/alpha", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("fit/proton", binState{Seeds: []uint64{9}}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(path, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got binState
+	ok, err := r.Load("fit/alpha", &got)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if len(got.Seeds) != 3 || got.Seeds[2] != 3 || got.Values[1] != 0.25 {
+		t.Fatalf("round trip mangled state: %+v", got)
+	}
+	if ok, _ := r.Load("fit/missing", &got); ok {
+		t.Fatal("missing stage reported present")
+	}
+	if len(r.Stages()) != 2 {
+		t.Fatalf("stages = %v", r.Stages())
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if _, err := Create(path, "aaaa"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Resume(path, "bbbb")
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("got %v, want ErrConfigMismatch", err)
+	}
+}
+
+func TestResumeRejectsMissingAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Resume(filepath.Join(dir, "absent.json"), "h"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(bad, "h"); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestCreateOverwritesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	s, err := Create(path, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("stage", binState{Seeds: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Create(path, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Stages()) != 0 {
+		t.Fatal("Create did not start fresh")
+	}
+	r, err := Resume(path, "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stages()) != 0 {
+		t.Fatal("overwrite not flushed to disk")
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	if err := s.Save("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	ok, err := s.Load("x", &v)
+	if ok || err != nil {
+		t.Fatalf("nil store load: ok=%v err=%v", ok, err)
+	}
+	if s.Path() != "" || s.Stages() != nil {
+		t.Fatal("nil store leaked state")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1, err := Fingerprint(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := Fingerprint(cfg{1, "x"})
+	h3, _ := Fingerprint(cfg{2, "x"})
+	if h1 != h2 {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if h1 == h3 {
+		t.Fatal("fingerprint ignores config changes")
+	}
+}

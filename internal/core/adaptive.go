@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -58,6 +59,13 @@ type AdaptivePOF struct {
 // relative precision, batching until converged or the strike budget is
 // exhausted.
 func (e *Engine) POFAtEnergyAdaptive(sp phys.Species, energyMeV float64, spec AdaptiveSpec, seed uint64) (AdaptivePOF, error) {
+	return e.POFAtEnergyAdaptiveCtx(context.Background(), sp, energyMeV, spec, seed)
+}
+
+// POFAtEnergyAdaptiveCtx is POFAtEnergyAdaptive with cooperative
+// cancellation between (and inside) batches; worker panics surface as
+// stack-carrying errors instead of crashing the process.
+func (e *Engine) POFAtEnergyAdaptiveCtx(ctx context.Context, sp phys.Species, energyMeV float64, spec AdaptiveSpec, seed uint64) (AdaptivePOF, error) {
 	spec = spec.withDefaults()
 	if energyMeV <= 0 {
 		return AdaptivePOF{}, errors.New("core: adaptive POF needs positive energy")
@@ -71,7 +79,10 @@ func (e *Engine) POFAtEnergyAdaptive(sp phys.Species, energyMeV float64, spec Ad
 	var sumTot, sumSEU, sumMBU, sumHits float64
 	var sumSqTot float64
 	for total < spec.MaxStrikes {
-		pt := e.POFAtEnergy(sp, energyMeV, spec.BatchSize, src.Uint64())
+		pt, err := e.POFAtEnergyCtx(ctx, sp, energyMeV, spec.BatchSize, src.Uint64())
+		if err != nil {
+			return AdaptivePOF{}, err
+		}
 		n := float64(spec.BatchSize)
 		sumTot += pt.Tot * n
 		sumSEU += pt.SEU * n

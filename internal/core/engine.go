@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"finser/internal/faultinject"
 	"finser/internal/finfet"
 	"finser/internal/geom"
 	"finser/internal/layout"
@@ -49,6 +51,12 @@ const (
 	// worst-case test pattern.
 	PatternCheckerboard
 )
+
+// Valid reports whether p is one of the defined patterns. New rejects
+// invalid patterns up front, making the panic in Bit unreachable.
+func (p DataPattern) Valid() bool {
+	return p >= PatternZeros && p <= PatternCheckerboard
+}
 
 // Bit returns the stored bit at (row, col).
 func (p DataPattern) Bit(row, col int) bool {
@@ -136,6 +144,18 @@ type Config struct {
 	// Progress, when non-nil, receives throttled done/total/ETA reports
 	// while FIT integrates over energy bins.
 	Progress obs.ProgressFunc
+	// Checkpoint, when non-nil, persists each completed FIT energy bin
+	// (POF point + RNG seed schedule) so an interrupted integration can
+	// resume bit-identically from the last completed bin. Nil disables
+	// checkpointing.
+	Checkpoint CheckpointStore
+	// CheckpointPrefix namespaces this engine's checkpoint stages (e.g.
+	// "vdd0.8/") so one store can carry a whole sweep.
+	CheckpointPrefix string
+	// Faults, when non-nil, injects deterministic failures at the engine's
+	// worker-loop sites — robustness-test only. Nil (the default) costs one
+	// pointer check per particle.
+	Faults *faultinject.Hooks
 	// NeutronSubstrateDepthNm is the depth of handle-wafer silicon (below
 	// the BOX) modelled as a neutron interaction volume. Energetic reaction
 	// secondaries born there can traverse the BOX and strike fins even
@@ -163,6 +183,20 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Rows <= 0 || cfg.Cols <= 0 {
 		return nil, fmt.Errorf("core: bad array dims %d×%d", cfg.Rows, cfg.Cols)
+	}
+	if !cfg.Pattern.Valid() {
+		return nil, fmt.Errorf("core: unknown data pattern %d", cfg.Pattern)
+	}
+	if cfg.Deposits != DepositTransport && cfg.Deposits != DepositLUT {
+		return nil, fmt.Errorf("core: unknown deposit mode %d", cfg.Deposits)
+	}
+	if cfg.Deposits == DepositLUT {
+		// Validate here what the lazy yield-LUT build depends on, so the
+		// build itself cannot fail on bad inputs mid-run.
+		if cfg.Tech.FinWidthNm <= 0 || cfg.Tech.GateLengthNm <= 0 || cfg.Tech.FinHeightNm <= 0 {
+			return nil, fmt.Errorf("core: LUT deposit mode needs positive fin dims, got %g×%g×%g",
+				cfg.Tech.FinWidthNm, cfg.Tech.GateLengthNm, cfg.Tech.FinHeightNm)
+		}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -218,16 +252,18 @@ func (e *Engine) providerFor(ci int) sram.POFProvider {
 	return e.cfg.Char
 }
 
-// yieldLUT returns (building on first use) the single-fin mean-yield table
-// for the species — the paper's Geant4 LUT.
-func (e *Engine) yieldLUT(sp phys.Species) *lut.Table1D {
+// ensureYieldLUT returns (building on first use) the single-fin mean-yield
+// table for the species — the paper's Geant4 LUT. The build honours ctx,
+// so a cancelled run does not pay for an unused table; inputs are
+// validated at New, so a completed build cannot fail.
+func (e *Engine) ensureYieldLUT(ctx context.Context, sp phys.Species) (*lut.Table1D, error) {
 	e.yieldMu.Lock()
 	defer e.yieldMu.Unlock()
 	if e.yieldLUTs == nil {
 		e.yieldLUTs = map[phys.Species]*lut.Table1D{}
 	}
 	if t, ok := e.yieldLUTs[sp]; ok {
-		return t
+		return t, nil
 	}
 	iters := e.cfg.LUTIters
 	if iters <= 0 {
@@ -236,18 +272,19 @@ func (e *Engine) yieldLUT(sp phys.Species) *lut.Table1D {
 	fin := geom.BoxAt(geom.V(0, 0, 0),
 		geom.V(e.cfg.Tech.FinWidthNm, e.cfg.Tech.GateLengthNm, e.cfg.Tech.FinHeightNm))
 	energies := lut.LogSpace(0.05, 1000, 25)
-	t, err := transport.BuildFinYieldLUT(e.cfg.Transport, sp, energies, fin, iters,
+	t, err := transport.BuildFinYieldLUTCtx(ctx, e.cfg.Transport, sp, energies, fin, iters,
 		rng.New(0xF14F+uint64(sp)))
 	if err != nil {
-		// Construction can only fail on programmer error (validated inputs).
-		panic("core: yield LUT: " + err.Error())
+		return nil, fmt.Errorf("core: yield LUT (%v): %w", sp, err)
 	}
 	e.yieldLUTs[sp] = t
-	return t
+	return t, nil
 }
 
-// strike runs steps 1–5 of the paper's §5.1 for one particle.
-func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64) strikeOutcome {
+// strike runs steps 1–5 of the paper's §5.1 for one particle. yield is the
+// pre-built mean-yield table in DepositLUT mode (resolved once per energy
+// point, outside the hot loop) and nil in transport mode.
+func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yieldTab *lut.Table1D) strikeOutcome {
 	ray := e.sampleRay(src, sp)
 
 	// Broad phase: only trace fins of cells whose bounds the ray crosses.
@@ -259,7 +296,7 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64) str
 	if e.cfg.Deposits == DepositLUT {
 		// Paper-style: every struck fin receives the mean yield at this
 		// energy, regardless of chord geometry.
-		yield := e.yieldLUT(sp).Eval(energyMeV)
+		yield := yieldTab.Eval(energyMeV)
 		for i, fi := range candidate {
 			if _, _, ok := e.boxes[fi].Intersect(ray); ok {
 				deps = append(deps, transport.Deposit{Fin: i, Pairs: yield})
@@ -462,8 +499,43 @@ type POFPoint struct {
 }
 
 // POFAtEnergy runs iters Monte-Carlo particles of the species at one energy
-// in parallel and returns the averaged POFs.
+// in parallel and returns the averaged POFs. It is the legacy non-
+// cancellable surface over POFAtEnergyCtx: with a background context and no
+// fault hooks the only possible failures are worker panics, which are
+// re-raised to preserve the historical crash behaviour. New code should
+// prefer POFAtEnergyCtx.
 func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed uint64) POFPoint {
+	pt, err := e.POFAtEnergyCtx(context.Background(), sp, energyMeV, iters, seed)
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+// cancelCheckEvery is the worker-loop particle stride between context
+// checks. Strikes cost microseconds, so this bounds cancellation latency
+// well under a millisecond per worker.
+const cancelCheckEvery = 64
+
+// FaultSiteParticle is the engine's per-particle fault-injection site.
+const FaultSiteParticle = "core.particle"
+
+// POFAtEnergyCtx is POFAtEnergy with cooperative cancellation and panic
+// isolation: workers check ctx every cancelCheckEvery particles, a panic in
+// any worker is recovered into a stack-carrying *faultinject.PanicError
+// that fails this energy point instead of the process, and the returned
+// error wraps ctx.Err() (with stage identity) when the run was cancelled.
+// Worker partials are merged in worker order, so the result is bit-
+// deterministic for a fixed (seed, worker count).
+func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV float64, iters int, seed uint64) (POFPoint, error) {
+	var yieldTab *lut.Table1D
+	if e.cfg.Deposits == DepositLUT {
+		t, err := e.ensureYieldLUT(ctx, sp)
+		if err != nil {
+			return POFPoint{}, err
+		}
+		yieldTab = t
+	}
 	workers := e.cfg.Workers
 	if iters < workers {
 		workers = 1
@@ -481,7 +553,8 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 		hits          int
 		busyNs        int64
 	}
-	results := make(chan acc, workers)
+	accs := make([]acc, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	per := iters / workers
 	extra := iters % workers
@@ -491,15 +564,28 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 			n++
 		}
 		wg.Add(1)
-		go func(src *rng.Source, n int) {
+		go func(w int, src *rng.Source, n int) {
 			defer wg.Done()
-			var a acc
+			defer faultinject.Recover("core.worker", &errs[w])
+			a := &accs[w]
 			var busyStart time.Time
 			if m != nil {
 				busyStart = time.Now()
 			}
 			for i := 0; i < n; i++ {
-				o := e.strike(src, sp, energyMeV)
+				if i%cancelCheckEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						break
+					}
+				}
+				if fi := e.cfg.Faults; fi != nil {
+					if err := fi.Hit(FaultSiteParticle); err != nil {
+						errs[w] = err
+						break
+					}
+				}
+				o := e.strike(src, sp, energyMeV, yieldTab)
 				a.tot.Add(o.pofTot)
 				a.seu.Add(o.pofSEU)
 				a.mbu.Add(o.pofMBU)
@@ -513,21 +599,42 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 			if m != nil {
 				a.busyNs = time.Since(busyStart).Nanoseconds()
 			}
-			results <- a
-		}(srcs[w], n)
+		}(w, srcs[w], n)
 	}
 	wg.Wait()
-	close(results)
+
+	// Surface the most informative failure: a real fault (panic, injected
+	// error) over a bare cancellation, then by worker index for
+	// determinism.
+	var ctxErr, hardErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		} else if hardErr == nil {
+			hardErr = err
+		}
+	}
+	if err := hardErr; err != nil || ctxErr != nil {
+		if err == nil {
+			err = ctxErr
+		}
+		return POFPoint{}, fmt.Errorf("core: POF %v @%g MeV: %w", sp, energyMeV, err)
+	}
 
 	var tot, seu, mbu stats.Welford
 	hits := 0
 	busyNs := int64(0)
-	for a := range results {
-		tot.Merge(a.tot)
-		seu.Merge(a.seu)
-		mbu.Merge(a.mbu)
-		hits += a.hits
-		busyNs += a.busyNs
+	for i := range accs {
+		tot.Merge(accs[i].tot)
+		seu.Merge(accs[i].seu)
+		mbu.Merge(accs[i].mbu)
+		hits += accs[i].hits
+		busyNs += accs[i].busyNs
 	}
 	if m != nil {
 		m.Particles.Add(int64(iters))
@@ -548,7 +655,7 @@ func (e *Engine) POFAtEnergy(sp phys.Species, energyMeV float64, iters int, seed
 		TotStdErr: tot.StdErr(),
 		Strikes:   iters,
 		HitFrac:   float64(hits) / float64(iters),
-	}
+	}, nil
 }
 
 // FITResult is the spectrum-integrated failure rate of the array.
@@ -573,18 +680,49 @@ type FITResult struct {
 // (events/1e9 hours).
 const fitScale = 3600 * 1e9
 
+// CheckpointStore persists per-stage state across interrupted runs.
+// *checkpoint.Store implements it; the indirection keeps core free of any
+// on-disk format knowledge.
+type CheckpointStore interface {
+	// Load unmarshals the named stage into v, reporting presence.
+	Load(stage string, v any) (bool, error)
+	// Save replaces the named stage's state.
+	Save(stage string, v any) error
+}
+
+// fitState is the per-stage checkpoint payload: the full pre-drawn per-bin
+// seed schedule plus the POF points of the bins completed so far, in bin
+// order. The seed schedule doubles as a consistency check on resume — a
+// checkpoint taken under a different seed or binning is rejected.
+type fitState struct {
+	ItersPerBin int        `json:"iters_per_bin"`
+	Seeds       []uint64   `json:"seeds"`
+	Points      []POFPoint `json:"points"`
+}
+
 // FIT runs the full Eq. 8 integration: per energy bin, estimate the POF
 // with itersPerBin Monte-Carlo particles, multiply by the bin's integral
-// flux and the array area, and sum.
+// flux and the array area, and sum. It is FITCtx with a background
+// context.
 func (e *Engine) FIT(spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBin int, seed uint64) (FITResult, error) {
+	return e.FITCtx(context.Background(), spec, bins, itersPerBin, seed)
+}
+
+// FITCtx is the resilient FIT integration. Cancellation: ctx is checked
+// before every bin and every cancelCheckEvery particles inside the bin;
+// on cancellation the error wraps ctx.Err() with the stage identity.
+// Checkpointing: when Config.Checkpoint is set, every completed bin is
+// persisted, and a later call with the same configuration resumes from the
+// last completed bin, reproducing the uninterrupted result bit-identically
+// (per-bin seeds are pre-drawn from seed, so bin k's substream does not
+// depend on how many bins ran in this process).
+func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBin int, seed uint64) (FITResult, error) {
 	if len(bins) == 0 {
 		return FITResult{}, errors.New("core: FIT needs at least one energy bin")
 	}
 	if itersPerBin <= 0 {
 		return FITResult{}, errors.New("core: FIT needs positive iterations per bin")
 	}
-	lx, ly := e.arr.DimsCm()
-	area := lx * ly
 	res := FITResult{
 		Species: spec.Species(),
 		Vdd:     e.cfg.Char.SupplyVoltage(),
@@ -593,15 +731,64 @@ func (e *Engine) FIT(spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBi
 	stage := "fit/" + spec.Species().String()
 	fitSpan := e.cfg.Metrics.span(stage)
 	defer fitSpan.End()
+
+	// Pre-draw the per-bin seed schedule. Drawing all seeds up front (in
+	// bin order, exactly as the sequential code consumed them) is what
+	// makes a resumed run bit-identical: bin k's substream is a pure
+	// function of (seed, k).
+	src := rng.New(seed)
+	seeds := make([]uint64, len(bins))
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+
+	state := fitState{ItersPerBin: itersPerBin, Seeds: seeds}
+	ckStage := e.cfg.CheckpointPrefix + stage
+	if e.cfg.Checkpoint != nil {
+		var prev fitState
+		ok, err := e.cfg.Checkpoint.Load(ckStage, &prev)
+		if err != nil {
+			return FITResult{}, fmt.Errorf("core: %s: checkpoint: %w", ckStage, err)
+		}
+		if ok {
+			if err := compatibleFITState(prev, state, len(bins)); err != nil {
+				return FITResult{}, fmt.Errorf("core: %s: checkpoint: %w", ckStage, err)
+			}
+			state.Points = prev.Points
+		}
+	}
+
 	tracker := obs.NewTracker(e.cfg.Progress, stage, int64(len(bins)*itersPerBin), 0)
 	defer tracker.Finish()
-	src := rng.New(seed)
-	for i, b := range bins {
+	tracker.Add(int64(len(state.Points) * itersPerBin)) // bins restored from checkpoint
+
+	for i := len(state.Points); i < len(bins); i++ {
+		if err := ctx.Err(); err != nil {
+			return FITResult{}, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+		}
+		b := bins[i]
 		binSpan := fitSpan.Child(fmt.Sprintf("bin%02d@%.3gMeV", i, b.Rep))
-		pt := e.POFAtEnergy(spec.Species(), b.Rep, itersPerBin, src.Uint64())
+		pt, err := e.POFAtEnergyCtx(ctx, spec.Species(), b.Rep, itersPerBin, seeds[i])
 		binSpan.End()
+		if err != nil {
+			return FITResult{}, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+		}
 		tracker.Add(int64(itersPerBin))
-		res.Points = append(res.Points, pt)
+		state.Points = append(state.Points, pt)
+		if e.cfg.Checkpoint != nil {
+			if err := e.cfg.Checkpoint.Save(ckStage, state); err != nil {
+				return FITResult{}, fmt.Errorf("core: %s bin %d: checkpoint: %w", ckStage, i, err)
+			}
+		}
+	}
+
+	// Accumulate from the ordered points — the same float operations in
+	// the same order whether the points were computed here or restored.
+	lx, ly := e.arr.DimsCm()
+	area := lx * ly
+	res.Points = state.Points
+	for i, b := range bins {
+		pt := res.Points[i]
 		res.TotalFIT += pt.Tot * b.IntFlux * area * fitScale
 		res.SEUFIT += pt.SEU * b.IntFlux * area * fitScale
 		res.MBUFIT += pt.MBU * b.IntFlux * area * fitScale
@@ -612,4 +799,25 @@ func (e *Engine) FIT(spec spectra.Spectrum, bins []spectra.EnergyBin, itersPerBi
 		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
 	}
 	return res, nil
+}
+
+// compatibleFITState verifies a restored checkpoint stage matches this
+// run's integration plan: same particle budget, same seed schedule, and no
+// more completed bins than the plan has.
+func compatibleFITState(prev, cur fitState, nBins int) error {
+	if prev.ItersPerBin != cur.ItersPerBin {
+		return fmt.Errorf("iters per bin changed: checkpoint %d, run %d", prev.ItersPerBin, cur.ItersPerBin)
+	}
+	if len(prev.Seeds) != len(cur.Seeds) {
+		return fmt.Errorf("bin count changed: checkpoint %d, run %d", len(prev.Seeds), len(cur.Seeds))
+	}
+	for i := range prev.Seeds {
+		if prev.Seeds[i] != cur.Seeds[i] {
+			return fmt.Errorf("seed schedule diverges at bin %d", i)
+		}
+	}
+	if len(prev.Points) > nBins {
+		return fmt.Errorf("checkpoint has %d completed bins for a %d-bin plan", len(prev.Points), nBins)
+	}
+	return nil
 }

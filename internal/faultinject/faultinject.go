@@ -1,0 +1,150 @@
+// Package faultinject lets robustness tests deterministically inject
+// failures — worker panics, solver non-convergence errors, cancellation —
+// at chosen points inside long-running stages, so the engine's degradation
+// paths are exercised under -race instead of trusted.
+//
+// Instrumented code calls Hit(site) at each pass through a named site (one
+// site per worker loop, counted across all goroutines); tests arm rules
+// that fire when the site's cumulative hit count reaches a chosen value.
+// A nil *Hooks is the production configuration: Hit on a nil receiver is a
+// single pointer comparison, the same zero-cost idiom as internal/obs.
+//
+// The package also owns PanicError, the stack-carrying error a recovery
+// site stores when a worker goroutine panics — injected or organic — so a
+// crash fails its stage instead of the process.
+package faultinject
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is a recovered worker panic: the site that caught it, the
+// original panic value, and the goroutine stack at the panic point.
+type PanicError struct {
+	Site  string
+	Value any
+	Stack []byte
+}
+
+// Error names the site and panic value; the stack is kept structured for
+// callers that want to log it (errors.As + .Stack).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: panic: %v", e.Site, e.Value)
+}
+
+// Recover converts an in-flight panic into a *PanicError stored at errp.
+// Use it as the first deferred call of a worker goroutine:
+//
+//	defer faultinject.Recover("core.worker", &err)
+//
+// It overwrites any earlier error at errp only when a panic is actually in
+// flight, and does nothing otherwise.
+func Recover(site string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = &PanicError{Site: site, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// rule is one armed injection at a site.
+type rule struct {
+	at     int64 // fire when the site's hit count reaches this (1-based)
+	panics bool
+	msg    string
+	err    error
+	call   func()
+}
+
+// siteState tracks one named site's cumulative hits and armed rules.
+type siteState struct {
+	hits  int64
+	rules []rule
+}
+
+// Hooks is a set of armed fault-injection rules keyed by site name. The
+// zero value is not usable; construct with New. A nil *Hooks accepts Hit
+// calls and never fires.
+type Hooks struct {
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+// New returns an empty hook set ready for arming.
+func New() *Hooks { return &Hooks{sites: map[string]*siteState{}} }
+
+// PanicAt arms a panic with the given message on the n-th hit of site.
+func (h *Hooks) PanicAt(site string, n int64, msg string) {
+	h.arm(site, rule{at: n, panics: true, msg: msg})
+}
+
+// ErrorAt arms an injected error (e.g. a synthetic solver non-convergence)
+// returned from the n-th hit of site.
+func (h *Hooks) ErrorAt(site string, n int64, err error) {
+	h.arm(site, rule{at: n, err: err})
+}
+
+// CallAt arms an arbitrary callback — typically a context.CancelFunc — run
+// on the n-th hit of site. Hit returns nil for pure-call rules.
+func (h *Hooks) CallAt(site string, n int64, f func()) {
+	h.arm(site, rule{at: n, call: f})
+}
+
+func (h *Hooks) arm(site string, r rule) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.sites[site]
+	if s == nil {
+		s = &siteState{}
+		h.sites[site] = s
+	}
+	s.rules = append(s.rules, r)
+}
+
+// Hit records one pass through the named site and fires any rule armed for
+// the resulting hit count: calls its callback, panics, or returns its
+// error. Nil receiver: returns nil immediately.
+func (h *Hooks) Hit(site string) error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	s := h.sites[site]
+	if s == nil {
+		s = &siteState{}
+		h.sites[site] = s
+	}
+	s.hits++
+	var fire *rule
+	for i := range s.rules {
+		if s.rules[i].at == s.hits {
+			fire = &s.rules[i]
+			break
+		}
+	}
+	h.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if fire.call != nil {
+		fire.call()
+	}
+	if fire.panics {
+		panic("faultinject: " + fire.msg)
+	}
+	return fire.err
+}
+
+// Hits returns the cumulative hit count of a site (0 on a nil receiver or
+// unknown site) — test introspection.
+func (h *Hooks) Hits(site string) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s := h.sites[site]; s != nil {
+		return s.hits
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHooksAreNoOps(t *testing.T) {
+	var h *Hooks
+	if err := h.Hit("anything"); err != nil {
+		t.Fatalf("nil hooks returned %v", err)
+	}
+	if h.Hits("anything") != 0 {
+		t.Fatal("nil hooks counted hits")
+	}
+}
+
+func TestErrorAtFiresExactlyOnce(t *testing.T) {
+	h := New()
+	want := errors.New("injected non-convergence")
+	h.ErrorAt("site", 3, want)
+	for i := 1; i <= 5; i++ {
+		err := h.Hit("site")
+		if i == 3 && !errors.Is(err, want) {
+			t.Fatalf("hit %d: got %v, want injected error", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+	if h.Hits("site") != 5 {
+		t.Fatalf("hits = %d, want 5", h.Hits("site"))
+	}
+}
+
+func TestPanicAtAndRecover(t *testing.T) {
+	h := New()
+	h.PanicAt("w", 2, "boom")
+	run := func() (err error) {
+		defer Recover("w", &err)
+		for i := 0; i < 4; i++ {
+			if e := h.Hit("w"); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	err := run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Site != "w" || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("panic error = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+}
+
+func TestCallAtRunsCallback(t *testing.T) {
+	h := New()
+	called := false
+	h.CallAt("s", 2, func() { called = true })
+	if err := h.Hit("s"); err != nil || called {
+		t.Fatal("rule fired early")
+	}
+	if err := h.Hit("s"); err != nil {
+		t.Fatalf("call rule returned error %v", err)
+	}
+	if !called {
+		t.Fatal("callback not run")
+	}
+}
+
+// TestConcurrentHits exercises the counter under -race the way worker
+// pools do: many goroutines hitting one site, exactly one observing the
+// armed error.
+func TestConcurrentHits(t *testing.T) {
+	h := New()
+	want := errors.New("one of you fails")
+	h.ErrorAt("pool", 50, want)
+	var wg sync.WaitGroup
+	fired := make(chan error, 100)
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := h.Hit("pool"); err != nil {
+					fired <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for err := range fired {
+		n++
+		if !errors.Is(err, want) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if n != 1 {
+		t.Fatalf("rule fired %d times, want 1", n)
+	}
+	if h.Hits("pool") != 100 {
+		t.Fatalf("hits = %d, want 100", h.Hits("pool"))
+	}
+}

@@ -1,6 +1,7 @@
 package sram
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"finser/internal/faultinject"
 	"finser/internal/finfet"
 	"finser/internal/obs"
 	"finser/internal/rng"
@@ -47,6 +49,10 @@ type CharConfig struct {
 	// Progress, when non-nil, receives throttled done/total/ETA reports as
 	// variation samples complete.
 	Progress obs.ProgressFunc
+	// Faults, when non-nil, injects deterministic failures at the
+	// per-sample worker site — robustness-test only. Nil costs one pointer
+	// check per sample.
+	Faults *faultinject.Hooks
 }
 
 func (c CharConfig) withDefaults() CharConfig {
@@ -82,11 +88,25 @@ type Characterization struct {
 	recip   [][NumAxes]float64
 }
 
+// FaultSiteSample is the characterization's per-sample fault-injection
+// site.
+const FaultSiteSample = "sram.sample"
+
 // Characterize runs the process-variation Monte Carlo: for each variation
 // sample it builds the cell and bisects the critical charge of each
 // sensitive axis. Samples run in parallel on cfg.Workers goroutines with
-// deterministic per-sample random substreams.
+// deterministic per-sample random substreams. It is CharacterizeCtx with a
+// background context.
 func Characterize(cfg CharConfig) (*Characterization, error) {
+	return CharacterizeCtx(context.Background(), cfg)
+}
+
+// CharacterizeCtx is the resilient characterization: workers check ctx
+// before every variation sample (cancellation surfaces as the context
+// error wrapped with the stage identity), and a panic inside a sample —
+// solver bug or injected fault — is recovered into a stack-carrying error
+// that fails the characterization instead of the process.
+func CharacterizeCtx(ctx context.Context, cfg CharConfig) (*Characterization, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Vdd <= 0 {
 		return nil, errors.New("sram: characterization needs positive Vdd")
@@ -110,6 +130,29 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 		qcrit [NumAxes]float64
 		err   error
 	}
+	// sample runs one variation sample with panic isolation.
+	sample := func(idx int) (qc [NumAxes]float64, err error) {
+		defer faultinject.Recover("sram.worker", &err)
+		if fi := cfg.Faults; fi != nil {
+			if err := fi.Hit(FaultSiteSample); err != nil {
+				return qc, err
+			}
+		}
+		cell, err := NewCell(cfg.Tech, cfg.Vdd, shifts[idx])
+		if err != nil {
+			return qc, err
+		}
+		cell.SetMetrics(cfg.Metrics)
+		for a := AxisI1; a < NumAxes; a++ {
+			q, err := cell.CriticalCharge(a, cfg.ChargeLo, cfg.ChargeHi, cfg.Shape)
+			if err != nil {
+				return qc, err
+			}
+			qc[a] = q
+		}
+		return qc, nil
+	}
+
 	jobs := make(chan int)
 	results := make(chan result)
 	var wg sync.WaitGroup
@@ -120,20 +163,8 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 			for idx := range jobs {
 				var res result
 				res.idx = idx
-				cell, err := NewCell(cfg.Tech, cfg.Vdd, shifts[idx])
-				if err != nil {
-					res.err = err
-					results <- res
-					continue
-				}
-				cell.SetMetrics(cfg.Metrics)
-				for a := AxisI1; a < NumAxes; a++ {
-					qc, err := cell.CriticalCharge(a, cfg.ChargeLo, cfg.ChargeHi, cfg.Shape)
-					if err != nil {
-						res.err = err
-						break
-					}
-					res.qcrit[a] = qc
+				if res.err = ctx.Err(); res.err == nil {
+					res.qcrit, res.err = sample(idx)
 				}
 				results <- res
 			}
@@ -141,7 +172,12 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 	}
 	go func() {
 		for i := 0; i < cfg.Samples; i++ {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Stop feeding; workers drain and exit.
+				i = cfg.Samples
+			}
 		}
 		close(jobs)
 		wg.Wait()
@@ -160,7 +196,9 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 		}
 		tracker.Add(1)
 		if res.err != nil {
-			if firstErr == nil {
+			// Keep the most informative failure: a real sample error beats
+			// a bare cancellation report.
+			if firstErr == nil || isCtxErr(firstErr) && !isCtxErr(res.err) {
 				firstErr = fmt.Errorf("sram: sample %d: %w", res.idx, res.err)
 			}
 			continue
@@ -170,6 +208,14 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 		}
 	}
 	tracker.Finish()
+	if firstErr != nil && !isCtxErr(firstErr) {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled: some samples never ran, the characterization is
+		// incomplete and must not be used.
+		return nil, fmt.Errorf("sram: characterize: %w", err)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -177,6 +223,12 @@ func Characterize(cfg CharConfig) (*Characterization, error) {
 		return nil, err
 	}
 	return ch, nil
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // finish builds the derived lookup structures.

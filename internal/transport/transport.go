@@ -9,6 +9,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -286,10 +287,27 @@ type YieldStats struct {
 // energy and returns the yield statistics. This is the paper's
 // "10 million MC simulations ... for each particular energy" step.
 func FinYield(cfg Config, sp phys.Species, energyMeV float64, fin geom.AABB, iters int, src *rng.Source) YieldStats {
+	ys, _ := finYieldCtx(context.Background(), cfg, sp, energyMeV, fin, iters, src)
+	return ys
+}
+
+// yieldCancelCheckEvery is the secant stride between context checks while
+// building yield statistics — fine enough that a cancelled LUT build stops
+// within a few hundred microseconds.
+const yieldCancelCheckEvery = 256
+
+// finYieldCtx is FinYield with cooperative cancellation; on cancellation it
+// returns the context error and partial (unusable) statistics.
+func finYieldCtx(ctx context.Context, cfg Config, sp phys.Species, energyMeV float64, fin geom.AABB, iters int, src *rng.Source) (YieldStats, error) {
 	var w stats.Welford
 	maxPairs := 0.0
 	hits := 0
 	for i := 0; i < iters; i++ {
+		if i%yieldCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return YieldStats{}, err
+			}
+		}
 		ray := SecantThroughBox(src, fin)
 		deps := Trace(cfg, sp, energyMeV, ray, []geom.AABB{fin}, src)
 		pairs := 0.0
@@ -310,12 +328,19 @@ func FinYield(cfg Config, sp phys.Species, energyMeV float64, fin geom.AABB, ite
 		StdPairs:  w.StdDev(),
 		MaxPairs:  maxPairs,
 		HitFrac:   float64(hits) / float64(iters),
-	}
+	}, nil
 }
 
 // BuildFinYieldLUT sweeps the energy grid and returns the mean-pairs LUT
 // used by the array-level stage (and plotted, normalized, as Fig. 4).
 func BuildFinYieldLUT(cfg Config, sp phys.Species, energiesMeV []float64, fin geom.AABB, itersPerEnergy int, src *rng.Source) (*lut.Table1D, error) {
+	return BuildFinYieldLUTCtx(context.Background(), cfg, sp, energiesMeV, fin, itersPerEnergy, src)
+}
+
+// BuildFinYieldLUTCtx is BuildFinYieldLUT with cooperative cancellation:
+// the sweep checks ctx between secant batches, so a cancelled run abandons
+// the (potentially hundreds of ms) LUT construction promptly.
+func BuildFinYieldLUTCtx(ctx context.Context, cfg Config, sp phys.Species, energiesMeV []float64, fin geom.AABB, itersPerEnergy int, src *rng.Source) (*lut.Table1D, error) {
 	if len(energiesMeV) < 2 {
 		return nil, errors.New("transport: need at least two energies")
 	}
@@ -327,7 +352,11 @@ func BuildFinYieldLUT(cfg Config, sp phys.Species, energiesMeV []float64, fin ge
 		if e <= 0 {
 			return nil, fmt.Errorf("transport: non-positive energy %g", e)
 		}
-		ys[i] = FinYield(cfg, sp, e, fin, itersPerEnergy, src).MeanPairs
+		stat, err := finYieldCtx(ctx, cfg, sp, e, fin, itersPerEnergy, src)
+		if err != nil {
+			return nil, fmt.Errorf("transport: yield LUT at %g MeV: %w", e, err)
+		}
+		ys[i] = stat.MeanPairs
 		if ys[i] <= 0 {
 			// Keep the table log-interpolable even if an energy point ranged
 			// out completely.

@@ -1,0 +1,325 @@
+package finser
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resilienceFlowConfig is a deliberately small flow whose FIT stage still
+// runs long enough to be interrupted mid-bin.
+func resilienceFlowConfig() FlowConfig {
+	return FlowConfig{
+		Vdd:              0.7,
+		ProcessVariation: true,
+		Samples:          12,
+		ItersPerBin:      1500,
+		AlphaBins:        3,
+		ProtonBins:       3,
+		Seed:             7,
+		Workers:          2,
+	}
+}
+
+// TestRunFlowCtxCancelLatency is the ISSUE's latency acceptance test: a
+// context cancelled mid-FIT must surface (wrapping ctx.Err()) within
+// 100 ms of the cancellation.
+func TestRunFlowCtxCancelLatency(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.ProcessVariation = false // fast characterization; FIT dominates
+	cfg.Samples = 0
+	cfg.ItersPerBin = 5_000_000 // would run for minutes if not cancelled
+	cfg.Workers = 0             // all cores, the production shape
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelledAt atomic.Int64
+	hooks := NewFaultHooks()
+	// Fire well inside the first alpha bin, long before it completes.
+	hooks.CallAt(FaultSiteParticle, 2000, func() {
+		cancelledAt.Store(time.Now().UnixNano())
+		cancel()
+	})
+	cfg.Faults = hooks
+
+	_, err := RunFlowCtx(ctx, cfg)
+	returned := time.Now()
+	if err == nil {
+		t.Fatal("RunFlowCtx returned nil error after mid-FIT cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "FIT") {
+		t.Errorf("error lost the stage identity: %v", err)
+	}
+	at := cancelledAt.Load()
+	if at == 0 {
+		t.Fatal("cancellation hook never fired")
+	}
+	if lat := returned.Sub(time.Unix(0, at)); lat > 100*time.Millisecond {
+		t.Errorf("cancellation latency %v exceeds 100ms", lat)
+	}
+}
+
+// TestWorkerPanicIsolatedCore injects a panic into an array-MC worker and
+// checks it fails the stage with a stack-carrying error instead of
+// crashing the process.
+func TestWorkerPanicIsolatedCore(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.ItersPerBin = 800
+	hooks := NewFaultHooks()
+	hooks.PanicAt(FaultSiteParticle, 300, "injected array-MC panic")
+	cfg.Faults = hooks
+
+	_, err := RunFlow(cfg)
+	if err == nil {
+		t.Fatal("RunFlow returned nil error despite injected worker panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error does not carry *PanicError: %v", err)
+	}
+	if pe.Site != "core.worker" {
+		t.Errorf("panic recovered at %q, want core.worker", pe.Site)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+	if !strings.Contains(err.Error(), "injected array-MC panic") {
+		t.Errorf("panic value lost from error: %v", err)
+	}
+}
+
+// TestWorkerPanicIsolatedCharacterize does the same for the
+// characterization workers.
+func TestWorkerPanicIsolatedCharacterize(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	hooks := NewFaultHooks()
+	hooks.PanicAt(FaultSiteSample, 3, "injected solver panic")
+	cfg.Faults = hooks
+
+	_, err := RunFlow(cfg)
+	if err == nil {
+		t.Fatal("RunFlow returned nil error despite injected sample panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error does not carry *PanicError: %v", err)
+	}
+	if pe.Site != "sram.worker" {
+		t.Errorf("panic recovered at %q, want sram.worker", pe.Site)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic carries no stack")
+	}
+}
+
+// TestResumeDeterminism is the ISSUE's checkpoint acceptance test: a run
+// interrupted mid-FIT and resumed from its checkpoint must reproduce the
+// uninterrupted result bit-identically.
+func TestResumeDeterminism(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	vdds := []float64{cfg.Vdd}
+	path := t.TempDir() + "/run.ck.json"
+
+	// Uninterrupted baseline (no checkpoint wiring at all).
+	base, err := RunVddSweep(cfg, vdds)
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+
+	// Interrupted run: cancel mid-alpha-FIT, after the first bin (1500
+	// particles) has completed and been checkpointed.
+	store, err := CreateCheckpoint(path, cfg, vdds)
+	if err != nil {
+		t.Fatalf("CreateCheckpoint: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hooks := NewFaultHooks()
+	hooks.CallAt(FaultSiteParticle, 2300, cancel)
+	c2 := cfg
+	c2.Checkpoint = store
+	c2.Faults = hooks
+	partial, err := RunVddSweepCtx(ctx, c2, vdds)
+	if err == nil {
+		t.Fatal("interrupted sweep returned nil error")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("interrupted sweep error is not *SweepError: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep error does not wrap context.Canceled: %v", err)
+	}
+	if len(partial) != 0 {
+		t.Fatalf("interrupted sweep completed %d voltages, want 0", len(partial))
+	}
+
+	// Resume under the same configuration and finish the run.
+	store2, err := ResumeCheckpoint(path, cfg, vdds)
+	if err != nil {
+		t.Fatalf("ResumeCheckpoint: %v", err)
+	}
+	if len(store2.Stages()) == 0 {
+		t.Fatal("checkpoint holds no completed stages; interruption landed before any bin finished")
+	}
+	c3 := cfg
+	c3.Checkpoint = store2
+	resumed, err := RunVddSweep(c3, vdds)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+
+	if len(resumed) != len(base) {
+		t.Fatalf("resumed sweep has %d results, want %d", len(resumed), len(base))
+	}
+	for i := range base {
+		assertFITEqual(t, "alpha", base[i].Alpha, resumed[i].Alpha)
+		assertFITEqual(t, "proton", base[i].Proton, resumed[i].Proton)
+	}
+}
+
+// assertFITEqual requires bit-identical FIT results (exact float equality —
+// the resume path must replay the identical arithmetic, not approximate it).
+func assertFITEqual(t *testing.T, label string, a, b FITResult) {
+	t.Helper()
+	if a.TotalFIT != b.TotalFIT || a.SEUFIT != b.SEUFIT || a.MBUFIT != b.MBUFIT ||
+		a.TotalFITErr != b.TotalFITErr || a.MBUToSEU != b.MBUToSEU {
+		t.Errorf("%s FIT diverged after resume:\n baseline %+v\n resumed  %+v", label, a, b)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Errorf("%s point count diverged: %d vs %d", label, len(a.Points), len(b.Points))
+		return
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("%s bin %d diverged after resume:\n baseline %+v\n resumed  %+v",
+				label, i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestVddSweepPartialResults checks that a fault in a later voltage
+// preserves the completed voltages and names the failing one.
+func TestVddSweepPartialResults(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.Samples = 10
+	cfg.ItersPerBin = 300
+	cfg.AlphaBins = 2
+	cfg.ProtonBins = 2
+	vdds := []float64{0.7, 0.65}
+
+	errBoom := errors.New("synthetic solver failure")
+	hooks := NewFaultHooks()
+	// Samples=10 per voltage: hit 14 lands in the second voltage's
+	// characterization.
+	hooks.ErrorAt(FaultSiteSample, 14, errBoom)
+	cfg.Faults = hooks
+
+	out, err := RunVddSweep(cfg, vdds)
+	if err == nil {
+		t.Fatal("sweep returned nil error despite injected failure")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("sweep error is not *SweepError: %v", err)
+	}
+	if se.Vdd != 0.65 {
+		t.Errorf("SweepError.Vdd = %g, want 0.65", se.Vdd)
+	}
+	if se.Completed != 1 {
+		t.Errorf("SweepError.Completed = %d, want 1", se.Completed)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("sweep error does not wrap the injected error: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("sweep preserved %d results, want 1", len(out))
+	}
+	if out[0].Vdd != 0.7 {
+		t.Errorf("preserved result is vdd %g, want 0.7", out[0].Vdd)
+	}
+}
+
+// TestFlowConfigNamedFieldValidation checks the named-field rejection of
+// negative budgets and unknown patterns.
+func TestFlowConfigNamedFieldValidation(t *testing.T) {
+	base := FlowConfig{Vdd: 0.8}
+	cases := []struct {
+		name   string
+		mutate func(*FlowConfig)
+	}{
+		{"Samples", func(c *FlowConfig) { c.Samples = -1 }},
+		{"ItersPerBin", func(c *FlowConfig) { c.ItersPerBin = -5 }},
+		{"Rows", func(c *FlowConfig) { c.Rows = -2 }},
+		{"Cols", func(c *FlowConfig) { c.Cols = -2 }},
+		{"AlphaBins", func(c *FlowConfig) { c.AlphaBins = -1 }},
+		{"ProtonBins", func(c *FlowConfig) { c.ProtonBins = -1 }},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		_, err := RunFlow(c)
+		if err == nil {
+			t.Errorf("%s: negative value accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.name) {
+			t.Errorf("%s: error does not name the field: %v", tc.name, err)
+		}
+	}
+
+	c := base
+	c.Pattern = DataPattern(99)
+	if _, err := RunFlow(c); err == nil || !strings.Contains(err.Error(), "Pattern") {
+		t.Errorf("unknown pattern accepted or unnamed: %v", err)
+	}
+
+	c = base
+	c.Vdd = 0
+	if _, err := RunFlow(c); err == nil || !strings.Contains(err.Error(), "Vdd") {
+		t.Errorf("zero Vdd accepted or unnamed: %v", err)
+	}
+}
+
+// TestResumeCheckpointRejectsConfigChange checks that a checkpoint taken
+// under one configuration cannot be resumed under another.
+func TestResumeCheckpointRejectsConfigChange(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	vdds := []float64{cfg.Vdd}
+	path := t.TempDir() + "/run.ck.json"
+	if _, err := CreateCheckpoint(path, cfg, vdds); err != nil {
+		t.Fatalf("CreateCheckpoint: %v", err)
+	}
+
+	// Same configuration resumes fine.
+	if _, err := ResumeCheckpoint(path, cfg, vdds); err != nil {
+		t.Fatalf("same-config resume rejected: %v", err)
+	}
+
+	mutations := []struct {
+		name string
+		cfg  FlowConfig
+		vdds []float64
+	}{
+		{"seed", func() FlowConfig { c := cfg; c.Seed++; return c }(), vdds},
+		{"iters", func() FlowConfig { c := cfg; c.ItersPerBin *= 2; return c }(), vdds},
+		{"workers", func() FlowConfig { c := cfg; c.Workers = cfg.Workers + 1; return c }(), vdds},
+		{"vdd list", cfg, []float64{0.7, 0.8}},
+	}
+	for _, m := range mutations {
+		if _, err := ResumeCheckpoint(path, m.cfg, m.vdds); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("%s change: resume error = %v, want ErrCheckpointMismatch", m.name, err)
+		}
+	}
+
+	// A missing file is a plain error, not a silent fresh start.
+	if _, err := ResumeCheckpoint(path+".nope", cfg, vdds); err == nil {
+		t.Error("resume of a missing checkpoint file succeeded")
+	}
+}
