@@ -1,0 +1,145 @@
+// Command serd is the SER-as-a-service daemon: a long-running HTTP/JSON
+// server that accepts FlowConfig-shaped soft-error jobs, runs them on a
+// bounded worker pool behind an admission queue, and survives the failures
+// a batch CLI cannot — transient stage errors are retried with jittered
+// backoff, persistently failing species stages are circuit-broken, and a
+// saturated queue sheds load with 503 + Retry-After instead of melting.
+//
+// Usage:
+//
+//	serd -addr :8080 -workers 2 -queue 16 -checkpoint-dir /var/lib/serd
+//
+// API:
+//
+//	POST /jobs              submit a job (JSON body, e.g. {"vdd": 0.8});
+//	                        202 with the job record, 400 on invalid config,
+//	                        503 + Retry-After when the queue is full
+//	GET  /jobs              list all jobs in admission order
+//	GET  /jobs/{id}         poll one job (state, retries, result)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           liveness (always 200 while the process serves)
+//	GET  /readyz            readiness (503 once draining)
+//	GET  /metrics           JSON snapshot of serving + flow metrics
+//
+// Shutdown: SIGTERM or SIGINT starts a graceful drain — admission stops
+// (/readyz flips to 503), queued and running jobs are canceled, completed
+// FIT bins are already checkpointed, and the process exits 0. With
+// -checkpoint-dir set, resubmitting the identical job to a restarted serd
+// resumes from the checkpoint and reproduces the uninterrupted result
+// bit-identically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"finser"
+	"finser/internal/breaker"
+	"finser/internal/retry"
+	"finser/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serd: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		queueDepth   = flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; a full queue sheds with 503")
+		workers      = flag.Int("workers", server.DefaultWorkers, "worker pool size (concurrent jobs)")
+		jobTimeout   = flag.Duration("job-timeout", server.DefaultJobTimeout, "default per-job deadline (jobs may override via timeout_seconds)")
+		retryAfter   = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint returned with 503 rejections")
+		maxAttempts  = flag.Int("retries", 4, "per-stage attempt budget (1 = no retries)")
+		baseDelay    = flag.Duration("retry-base", 100*time.Millisecond, "base retry backoff (grows exponentially with full jitter)")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive stage failures that trip a species breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
+		ckDir        = flag.String("checkpoint-dir", "", "directory for per-job checkpoints; identical resubmissions resume bit-identically")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for workers to unwind")
+	)
+	flag.Parse()
+
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	reg := finser.NewMetrics()
+	srv := server.New(server.Config{
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		RetryAfter:    *retryAfter,
+		CheckpointDir: *ckDir,
+		Metrics:       reg,
+		Retry: retry.Policy{
+			MaxAttempts: *maxAttempts,
+			BaseDelay:   *baseDelay,
+			OnRetry: func(attempt int, err error, delay time.Duration) {
+				log.Printf("stage attempt %d failed (%v); retrying in %s", attempt, err, delay.Round(time.Millisecond))
+			},
+		},
+		Breaker: breaker.Config{
+			FailureThreshold: *brkThreshold,
+			Cooldown:         *brkCooldown,
+			OnStateChange: func(name string, from, to breaker.State) {
+				log.Printf("breaker %s: %s → %s", name, from, to)
+			},
+		},
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (workers=%d queue=%d checkpoint-dir=%q)",
+		*addr, *workers, *queueDepth, *ckDir)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener died out from under us — nothing graceful left.
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%s: draining (admission stopped, canceling jobs, waiting up to %s)", sig, *drainWait)
+	}
+
+	// Drain first so status queries and /readyz keep answering while jobs
+	// unwind; only then close the listener. A second signal aborts hard.
+	go func() {
+		s := <-sigCh
+		log.Fatalf("%s during drain: aborting", s)
+	}()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		code = 1
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
+
+	if code == 0 {
+		if *ckDir != "" {
+			fmt.Println("drained cleanly; resubmit jobs after restart to resume from checkpoints")
+		} else {
+			fmt.Println("drained cleanly")
+		}
+	}
+	os.Exit(code)
+}

@@ -19,6 +19,12 @@
 //
 //	serflow -vdd 0.8 -checkpoint run.ck.json -json out.json   # interrupted…
 //	serflow -vdd 0.8 -checkpoint run.ck.json -resume -json out.json
+//
+// A wall-clock budget works the same way: -timeout 30m cancels the flow at
+// the deadline, reports which stage it landed in, flushes partial output,
+// and exits 124 (as timeout(1) would). Result and metrics files are always
+// written atomically, so an interrupted flush never truncates a previous
+// good file.
 package main
 
 import (
@@ -27,11 +33,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,8 +49,11 @@ import (
 )
 
 // interruptExitCode is the conventional exit status for a SIGINT-style
-// termination (128 + SIGINT).
-const interruptExitCode = 130
+// termination (128 + SIGINT); timeoutExitCode matches coreutils timeout(1).
+const (
+	interruptExitCode = 130
+	timeoutExitCode   = 124
+)
 
 func main() {
 	log.SetFlags(0)
@@ -65,6 +76,7 @@ func main() {
 		ckPath   = flag.String("checkpoint", "", "persist completed FIT energy bins to this JSON file so the run can be resumed")
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); a resumed checkpoint requires the same effective value")
+		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 30m); on expiry partial results are flushed and the exit code is 124")
 	)
 	flag.Parse()
 
@@ -78,19 +90,19 @@ func main() {
 	}
 
 	var reg *finser.Metrics
-	var metricsFile *os.File
 	if *progress || *metrics != "" || *pprof != "" {
 		reg = finser.NewMetrics()
 		cfg.Obs = reg
 	}
 	if *metrics != "" {
-		// Create the snapshot file up front so a bad path fails before the
-		// (potentially hours-long) run, not after it.
+		// Probe the snapshot path up front so a bad path fails before the
+		// (potentially hours-long) run, not after it. The real snapshot is
+		// written atomically at flush time.
 		f, err := os.Create(*metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
-		metricsFile = f
+		f.Close()
 	}
 	if *progress {
 		cfg.Progress = finser.ProgressPrinter(os.Stderr)
@@ -131,6 +143,13 @@ func main() {
 	// restores default handling once the context is cancelled).
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// -timeout layers a wall-clock deadline under the signal context; the
+	// engine reports which stage and bin the deadline landed in.
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	fmt.Printf("cross-layer SER flow: %dx%d SRAM array, 14nm SOI FinFET, PV=%v (%d samples), %d particles/bin\n\n",
 		*rows, *cols, *pv, *samples, *iters)
@@ -144,8 +163,19 @@ func main() {
 		start := time.Now()
 		res, err := finser.RunFlowCtx(ctx, c)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				flush(results, reg, *jsonOut, *metrics)
+				// The wrapped error names the stage (and bin) the budget
+				// expired in, e.g. "core: fit/alpha bin 7: context deadline
+				// exceeded".
+				log.Printf("timed out after %s at vdd %g: %v", *timeout, vdd, err)
+				if *ckPath != "" {
+					log.Printf("rerun with -checkpoint %s -resume to continue", *ckPath)
+				}
+				os.Exit(timeoutExitCode)
+			}
 			if errors.Is(err, context.Canceled) {
-				flush(results, reg, *jsonOut, metricsFile, *metrics)
+				flush(results, reg, *jsonOut, *metrics)
 				log.Printf("interrupted at vdd %g: %v", vdd, err)
 				if *ckPath != "" {
 					log.Printf("rerun with -checkpoint %s -resume to continue", *ckPath)
@@ -154,7 +184,7 @@ func main() {
 			}
 			// A stage failure still salvages the completed voltages before
 			// exiting nonzero.
-			flush(results, reg, *jsonOut, metricsFile, *metrics)
+			flush(results, reg, *jsonOut, *metrics)
 			log.Fatalf("vdd %g: %v", vdd, err)
 		}
 		results = append(results, res)
@@ -174,36 +204,60 @@ func main() {
 		}
 	}
 
-	flush(results, reg, *jsonOut, metricsFile, *metrics)
+	flush(results, reg, *jsonOut, *metrics)
 }
 
 // flush writes whatever results exist (possibly none) to the -json file
 // and snapshots metrics — shared by the happy path and the interrupted /
-// failed exits so partial work is never discarded silently.
-func flush(results []*finser.FlowResult, reg *finser.Metrics, jsonOut string, metricsFile *os.File, metricsPath string) {
+// failed exits so partial work is never discarded silently. Both files are
+// written atomically (temp file + rename), so a crash or signal landing
+// mid-flush can never leave a truncated half-JSON file where a previous
+// good result used to be.
+func flush(results []*finser.FlowResult, reg *finser.Metrics, jsonOut, metricsPath string) {
 	if jsonOut != "" {
-		f, err := os.Create(jsonOut)
+		err := writeFileAtomic(jsonOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(results)
+		})
 		if err != nil {
 			log.Print(err)
 		} else {
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(results); err != nil {
-				log.Print(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Print(err)
-			}
 			fmt.Printf("\nwrote %s (%d voltage(s))\n", jsonOut, len(results))
 		}
 	}
-	if metricsFile != nil {
-		if err := writeMetrics(reg, metricsFile); err != nil {
+	if metricsPath != "" {
+		if err := writeFileAtomic(metricsPath, reg.WriteJSON); err != nil {
 			log.Print(err)
 		} else {
 			fmt.Printf("wrote metrics snapshot %s\n", metricsPath)
 		}
 	}
+}
+
+// writeFileAtomic writes via a temp file in the destination directory and
+// renames it into place, so readers only ever observe a complete file.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename has happened
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would tighten what os.Create used to produce here;
+	// restore the conventional mode (still subject to the umask at create
+	// time for the probe file this replaces).
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // buildConfig validates the raw flag values up front — bad budgets or array
@@ -241,14 +295,6 @@ func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, pa
 		Pattern:          pat,
 		Seed:             seed,
 	}, vdds, nil
-}
-
-func writeMetrics(reg *finser.Metrics, f *os.File) error {
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // neutronFIT runs the indirect-ionization extension with the flow's

@@ -347,9 +347,32 @@ type FlowConfig struct {
 	Faults *FaultHooks
 }
 
+// ConfigError reports an invalid FlowConfig field — a caller mistake that
+// no amount of retrying can fix. A serving layer maps it to HTTP 400
+// (everything else stays a 500-class job failure), and retry policies
+// treat it as fail-fast. Match with errors.As.
+type ConfigError struct {
+	// Field is the FlowConfig field name at fault.
+	Field string
+	// Reason describes the violation, including the offending value.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("finser: FlowConfig.%s %s", e.Field, e.Reason)
+}
+
+// Validate resolves defaults and reports the first invalid field as a
+// *ConfigError — the admission-time check a serving layer runs before
+// queueing hours of work.
+func (c FlowConfig) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
 func (c FlowConfig) withDefaults() (FlowConfig, error) {
 	if c.Vdd <= 0 {
-		return c, errors.New("finser: FlowConfig.Vdd must be positive")
+		return c, &ConfigError{Field: "Vdd", Reason: "must be positive"}
 	}
 	// Negative budgets and dimensions are always mistakes; fail here with
 	// the field name instead of a confusing error (or hang) layers deeper.
@@ -365,11 +388,11 @@ func (c FlowConfig) withDefaults() (FlowConfig, error) {
 		{"ProtonBins", c.ProtonBins},
 	} {
 		if f.v < 0 {
-			return c, fmt.Errorf("finser: FlowConfig.%s must not be negative, got %d", f.name, f.v)
+			return c, &ConfigError{Field: f.name, Reason: fmt.Sprintf("must not be negative, got %d", f.v)}
 		}
 	}
 	if !c.Pattern.Valid() {
-		return c, fmt.Errorf("finser: FlowConfig.Pattern unknown (%d)", c.Pattern)
+		return c, &ConfigError{Field: "Pattern", Reason: fmt.Sprintf("unknown (%d)", c.Pattern)}
 	}
 	if c.Tech.Name == "" {
 		c.Tech = Default14nmSOI()
@@ -469,6 +492,25 @@ func RunFlowWithCharCtx(ctx context.Context, cfg FlowConfig, char *Characterizat
 // runFlowWithChar runs the environment half of the flow under the given
 // (possibly nil) flow span; cfg must already carry defaults.
 func runFlowWithChar(ctx context.Context, cfg FlowConfig, char *Characterization, flow *obs.Span) (*FlowResult, error) {
+	eng, err := buildFlowEngine(cfg, char, flow)
+	if err != nil {
+		return nil, err
+	}
+	res := &FlowResult{Vdd: cfg.Vdd, Char: char}
+	res.Alpha, err = fitSpecies(ctx, cfg, eng, flow, Alpha)
+	if err != nil {
+		return nil, err
+	}
+	res.Proton, err = fitSpecies(ctx, cfg, eng, flow, Proton)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildFlowEngine assembles the array engine exactly as RunFlow does; cfg
+// must already carry defaults.
+func buildFlowEngine(cfg FlowConfig, char *Characterization, flow *obs.Span) (*Engine, error) {
 	transportCfg := DefaultTransport()
 	transportCfg.Metrics = transport.NewMetrics(cfg.Obs)
 	buildSpan := flow.Child("engine-build")
@@ -495,42 +537,100 @@ func runFlowWithChar(ctx context.Context, cfg FlowConfig, char *Characterization
 	if err != nil {
 		return nil, fmt.Errorf("finser: engine: %w", err)
 	}
+	return eng, nil
+}
 
-	alphaSpec, err := NewAlphaSpectrum(cfg.AlphaRate)
-	if err != nil {
-		return nil, err
+// fitSpecies runs one species' environment stage — spectrum, Eq. 8 bins,
+// FIT integration — on an already-built engine. The per-species seed
+// offsets (alpha: Seed+1, proton: Seed+2) match the historical RunFlow
+// stream split, so a staged run reproduces RunFlow bit-identically. cfg
+// must already carry defaults.
+func fitSpecies(ctx context.Context, cfg FlowConfig, eng *Engine, flow *obs.Span, sp Species) (FITResult, error) {
+	var (
+		spec     Spectrum
+		err      error
+		name     string
+		lo, hi   float64
+		nBins    int
+		seedBump uint64
+	)
+	switch sp {
+	case Alpha:
+		spec, err = NewAlphaSpectrum(cfg.AlphaRate)
+		name, lo, hi, nBins, seedBump = "alpha", 0.5, 10, cfg.AlphaBins, 1
+	case Proton:
+		spec, err = NewProtonSpectrum(cfg.ProtonScale)
+		name, lo, hi, nBins, seedBump = "proton", 0.1, 100, cfg.ProtonBins, 2
+	default:
+		return FITResult{}, fmt.Errorf("finser: species FIT: unsupported species %v", sp)
 	}
-	protonSpec, err := NewProtonSpectrum(cfg.ProtonScale)
 	if err != nil {
-		return nil, err
+		return FITResult{}, err
 	}
-	alphaSpan := flow.Child("bins-alpha")
-	alphaBins, err := Bins(alphaSpec, 0.5, 10, cfg.AlphaBins)
-	alphaSpan.End()
+	binSpan := flow.Child("bins-" + name)
+	bins, err := Bins(spec, lo, hi, nBins)
+	binSpan.End()
 	if err != nil {
-		return nil, err
+		return FITResult{}, err
 	}
-	protonSpan := flow.Child("bins-proton")
-	protonBins, err := Bins(protonSpec, 0.1, 100, cfg.ProtonBins)
-	protonSpan.End()
+	fitSpan := flow.Child("fit-" + name)
+	res, err := eng.FITCtx(ctx, spec, bins, cfg.ItersPerBin, cfg.Seed+seedBump)
+	fitSpan.End()
 	if err != nil {
-		return nil, err
-	}
-
-	res := &FlowResult{Vdd: cfg.Vdd, Char: char}
-	fitAlpha := flow.Child("fit-alpha")
-	res.Alpha, err = eng.FITCtx(ctx, alphaSpec, alphaBins, cfg.ItersPerBin, cfg.Seed+1)
-	fitAlpha.End()
-	if err != nil {
-		return nil, fmt.Errorf("finser: alpha FIT: %w", err)
-	}
-	fitProton := flow.Child("fit-proton")
-	res.Proton, err = eng.FITCtx(ctx, protonSpec, protonBins, cfg.ItersPerBin, cfg.Seed+2)
-	fitProton.End()
-	if err != nil {
-		return nil, fmt.Errorf("finser: proton FIT: %w", err)
+		return FITResult{}, fmt.Errorf("finser: %s FIT: %w", name, err)
 	}
 	return res, nil
+}
+
+// CharacterizeFlowCtx runs only the characterization stage of the flow,
+// with the exact configuration mapping RunFlowCtx uses — the serving
+// layer's first pipeline stage, so the expensive cell model can be retried
+// (or reused) independently of the per-species FIT stages.
+func CharacterizeFlowCtx(ctx context.Context, cfg FlowConfig) (*Characterization, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	flow := cfg.Obs.StartSpan("flow")
+	defer flow.End()
+	charSpan := flow.Child("characterize")
+	char, err := CharacterizeCtx(ctx, CharConfig{
+		Tech:             cfg.Tech,
+		Vdd:              cfg.Vdd,
+		Samples:          cfg.Samples,
+		ProcessVariation: cfg.ProcessVariation,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		Metrics:          sram.NewMetrics(cfg.Obs),
+		Progress:         cfg.Progress,
+		Faults:           cfg.Faults,
+	})
+	charSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("finser: characterize: %w", err)
+	}
+	return char, nil
+}
+
+// SpeciesFITCtx runs the single-species environment half of the flow —
+// engine build, spectrum, bins, FIT integration — with a pre-built
+// characterization. It is the unit a serving layer wraps in per-species
+// retry and circuit-breaker policy: alpha and proton integrate with the
+// same seed substreams RunFlowCtx would use (alpha: Seed+1, proton:
+// Seed+2), so composing the two stages reproduces RunFlowCtx's FlowResult
+// bit-identically, checkpoint-compatible with an uninterrupted run.
+func SpeciesFITCtx(ctx context.Context, cfg FlowConfig, char *Characterization, sp Species) (FITResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return FITResult{}, err
+	}
+	flow := cfg.Obs.StartSpan("flow")
+	defer flow.End()
+	eng, err := buildFlowEngine(cfg, char, flow)
+	if err != nil {
+		return FITResult{}, err
+	}
+	return fitSpecies(ctx, cfg, eng, flow, sp)
 }
 
 // SweepError reports the voltage at which a Vdd sweep failed. RunVddSweep
@@ -632,6 +732,15 @@ func flowConfigFingerprint(cfg FlowConfig, vdds []float64) (string, error) {
 		Seed:             c.Seed,
 		Workers:          workers,
 	})
+}
+
+// FlowFingerprint returns the hex digest identifying the result-
+// determining configuration of a sweep — the same identity CreateCheckpoint
+// stamps into checkpoint files. Serving layers use it to key per-job
+// checkpoint files, so a resubmitted identical job finds (and resumes) its
+// predecessor's partial work.
+func FlowFingerprint(cfg FlowConfig, vdds []float64) (string, error) {
+	return flowConfigFingerprint(cfg, vdds)
 }
 
 // CreateCheckpoint starts a fresh checkpoint file at path for the given

@@ -1,0 +1,216 @@
+package breaker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("stage failure")
+
+// clock is a hand-advanced fake time source.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// fail and ok are canned ops.
+func fail(context.Context) error { return errBoom }
+func ok(context.Context) error   { return nil }
+
+// TestClosedToOpenOnThreshold checks the circuit trips after exactly
+// FailureThreshold consecutive countable failures, and that a success in
+// between resets the count.
+func TestClosedToOpenOnThreshold(t *testing.T) {
+	ck := &clock{}
+	var changes []string
+	b := New(Config{
+		Name:             "alpha",
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		Now:              ck.now,
+		OnStateChange: func(name string, from, to State) {
+			changes = append(changes, from.String()+"→"+to.String())
+		},
+	})
+
+	// Two failures, then a success: count must reset.
+	for i := 0; i < 2; i++ {
+		if err := b.Do(context.Background(), fail); !errors.Is(err, errBoom) {
+			t.Fatalf("closed circuit mangled the error: %v", err)
+		}
+	}
+	if err := b.Do(context.Background(), ok); err != nil {
+		t.Fatalf("success errored: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after reset = %v, want closed", got)
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if got := b.State(); got != Closed {
+			t.Fatalf("tripped early at failure %d: %v", i, got)
+		}
+		b.Do(context.Background(), fail)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+	if len(changes) != 1 || changes[0] != "closed→open" {
+		t.Errorf("observed transitions %v, want [closed→open]", changes)
+	}
+}
+
+// TestOpenShedsWithoutRunning checks an open circuit rejects with ErrOpen
+// and does not invoke the op.
+func TestOpenShedsWithoutRunning(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Minute, Now: ck.now})
+	b.Do(context.Background(), fail)
+	if got := b.State(); got != Open {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	calls := 0
+	err := b.Do(context.Background(), func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("open circuit error = %v, want ErrOpen", err)
+	}
+	if calls != 0 {
+		t.Errorf("open circuit ran the op %d times", calls)
+	}
+	if b.Shed() != 1 {
+		t.Errorf("Shed = %d, want 1", b.Shed())
+	}
+}
+
+// TestHalfOpenProbeAndReclose checks the full recovery arc: cooldown
+// elapses → half-open probe admitted → success re-closes.
+func TestHalfOpenProbeAndReclose(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, Now: ck.now})
+	b.Do(context.Background(), fail)
+
+	// Before the cooldown: still shedding.
+	ck.advance(999 * time.Millisecond)
+	if err := b.Do(context.Background(), ok); !errors.Is(err, ErrOpen) {
+		t.Fatalf("pre-cooldown call not shed: %v", err)
+	}
+
+	// After the cooldown: the probe runs and re-closes the circuit.
+	ck.advance(time.Millisecond)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if err := b.Do(context.Background(), ok); err != nil {
+		t.Fatalf("probe errored: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after healthy probe = %v, want closed", got)
+	}
+	// A single later failure must not trip a freshly closed threshold-1…
+	// it does here (threshold 1), but the failure count started from zero.
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+// TestHalfOpenFailureReopens checks a failed probe re-trips the circuit
+// and restarts the cooldown.
+func TestHalfOpenFailureReopens(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, Now: ck.now})
+	b.Do(context.Background(), fail)
+	ck.advance(time.Second)
+	if err := b.Do(context.Background(), fail); !errors.Is(err, errBoom) {
+		t.Fatalf("probe error mangled: %v", err)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+	// The cooldown restarted at the failed probe.
+	ck.advance(999 * time.Millisecond)
+	if err := b.Do(context.Background(), ok); !errors.Is(err, ErrOpen) {
+		t.Errorf("cooldown did not restart after failed probe: %v", err)
+	}
+}
+
+// TestHalfOpenMultiProbeClose checks HalfOpenSuccesses > 1 requires that
+// many consecutive healthy probes.
+func TestHalfOpenMultiProbeClose(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, HalfOpenSuccesses: 2, Now: ck.now})
+	b.Do(context.Background(), fail)
+	ck.advance(time.Second)
+
+	if err := b.Do(context.Background(), ok); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after probe 1 = %v, want half-open", got)
+	}
+	if err := b.Do(context.Background(), ok); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe 2 = %v, want closed", got)
+	}
+}
+
+// TestHalfOpenSingleProbeSlot checks that while a probe is in flight,
+// concurrent calls are shed instead of stampeding the recovering class.
+func TestHalfOpenSingleProbeSlot(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, Now: ck.now})
+	b.Do(context.Background(), fail)
+	ck.advance(time.Second)
+
+	probeEntered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Do(context.Background(), func(context.Context) error {
+			close(probeEntered)
+			<-release
+			return nil
+		})
+	}()
+	<-probeEntered
+	if err := b.Do(context.Background(), ok); !errors.Is(err, ErrOpen) {
+		t.Errorf("second call during probe = %v, want ErrOpen", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Errorf("state after probe = %v, want closed", got)
+	}
+}
+
+// TestCancellationNotCountable checks context errors pass through without
+// indicting the workload class.
+func TestCancellationNotCountable(t *testing.T) {
+	ck := &clock{}
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, Now: ck.now})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := b.Do(ctx, func(ctx context.Context) error { return ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Errorf("cancellation tripped the circuit: %v", got)
+	}
+	if b.Trips() != 0 {
+		t.Errorf("Trips = %d, want 0", b.Trips())
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"finser"
+)
+
+// JobState is the lifecycle state of a submitted SER job.
+type JobState string
+
+const (
+	// StateQueued means the job is admitted and waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is driving the flow.
+	StateRunning JobState = "running"
+	// StateDone means the flow completed; Result is populated.
+	StateDone JobState = "done"
+	// StateFailed means the flow failed after exhausting its retry
+	// budget (or on a non-retryable error).
+	StateFailed JobState = "failed"
+	// StateCanceled means the job was canceled by the API or a drain.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the FlowConfig-shaped submission body. Zero fields select
+// the same defaults as finser.FlowConfig; only Vdd is required.
+type JobRequest struct {
+	Vdd              float64 `json:"vdd"`
+	Rows             int     `json:"rows,omitempty"`
+	Cols             int     `json:"cols,omitempty"`
+	ProcessVariation bool    `json:"process_variation,omitempty"`
+	Samples          int     `json:"samples,omitempty"`
+	ItersPerBin      int     `json:"iters_per_bin,omitempty"`
+	AlphaRate        float64 `json:"alpha_rate,omitempty"`
+	ProtonScale      float64 `json:"proton_scale,omitempty"`
+	AlphaBins        int     `json:"alpha_bins,omitempty"`
+	ProtonBins       int     `json:"proton_bins,omitempty"`
+	// Pattern is the stored data pattern: zeros (default), ones, or
+	// checkerboard.
+	Pattern string `json:"pattern,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Workers bounds the flow's internal parallelism (0 = GOMAXPROCS).
+	// Checkpointed jobs resume bit-identically only under the same
+	// effective value, so heavy users pin it explicitly.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutSeconds overrides the server's per-job deadline (0 keeps
+	// the server default).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// RequestError reports an invalid job-request field — mapped to HTTP 400
+// alongside finser.ConfigError.
+type RequestError struct {
+	Field  string
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("server: request field %s %s", e.Field, e.Reason)
+}
+
+// flowConfig maps the wire request onto a finser.FlowConfig. Field-level
+// validation beyond the mapping itself is finser's job (Validate).
+func (r JobRequest) flowConfig() (finser.FlowConfig, error) {
+	var pat finser.DataPattern
+	switch strings.ToLower(r.Pattern) {
+	case "", "zeros":
+		pat = finser.PatternZeros
+	case "ones":
+		pat = finser.PatternOnes
+	case "checkerboard":
+		pat = finser.PatternCheckerboard
+	default:
+		return finser.FlowConfig{}, &RequestError{Field: "pattern", Reason: fmt.Sprintf("unknown %q", r.Pattern)}
+	}
+	if r.TimeoutSeconds < 0 {
+		return finser.FlowConfig{}, &RequestError{Field: "timeout_seconds", Reason: fmt.Sprintf("must not be negative, got %g", r.TimeoutSeconds)}
+	}
+	return finser.FlowConfig{
+		Vdd:              r.Vdd,
+		Rows:             r.Rows,
+		Cols:             r.Cols,
+		ProcessVariation: r.ProcessVariation,
+		Samples:          r.Samples,
+		ItersPerBin:      r.ItersPerBin,
+		AlphaRate:        r.AlphaRate,
+		ProtonScale:      r.ProtonScale,
+		AlphaBins:        r.AlphaBins,
+		ProtonBins:       r.ProtonBins,
+		Pattern:          pat,
+		Seed:             r.Seed,
+		Workers:          r.Workers,
+	}, nil
+}
+
+// JobResult is the completed flow's FIT rates — the FlowResult minus the
+// cell characterization (megabytes of POF samples no API consumer wants in
+// a status poll).
+type JobResult struct {
+	Vdd    float64          `json:"vdd"`
+	Alpha  finser.FITResult `json:"alpha"`
+	Proton finser.FITResult `json:"proton"`
+}
+
+// JobStatus is the queryable view of a job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Retries counts stage attempts beyond the first across the whole
+	// pipeline.
+	Retries int64 `json:"retries,omitempty"`
+	// ResumedStages is how many checkpointed FIT stages the job restored
+	// at start (a resubmitted drained job reports > 0).
+	ResumedStages int        `json:"resumed_stages,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	Result        *JobResult `json:"result,omitempty"`
+	Request       JobRequest `json:"request"`
+}
+
+// job is the server-internal record. The owning Server's mutex guards all
+// fields except the atomics.
+type job struct {
+	id        string
+	req       JobRequest
+	cfg       finser.FlowConfig
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *JobResult
+	cancel    func()
+	ctx       context.Context // the job's base context; cancel() and drains cut it
+	retries   atomic.Int64
+	resumed   int
+}
+
+// status renders the job under the server lock.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:            j.id,
+		State:         j.state,
+		SubmittedAt:   j.submitted,
+		Retries:       j.retries.Load(),
+		ResumedStages: j.resumed,
+		Error:         j.err,
+		Result:        j.result,
+		Request:       j.req,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}

@@ -1,0 +1,603 @@
+// Package server is the SER-as-a-service layer: a bounded admission queue
+// with load shedding, a fixed worker pool driving the staged finser flow,
+// and the resilience policy around it — per-stage retries with jittered
+// backoff, per-species circuit breakers, per-job deadlines, cancelable
+// queryable job states, and a graceful drain that preserves checkpoints so
+// a resubmitted job resumes bit-identically.
+//
+// The queue is the backpressure boundary: when it is full (or the server
+// is draining) a submission is rejected immediately with ErrQueueFull /
+// ErrDraining — HTTP 503 plus Retry-After — instead of piling goroutines
+// onto a saturated machine. Workers pull jobs in admission order; each job
+// runs characterize → alpha FIT → proton FIT, every stage under the retry
+// policy, and each species stage behind its own circuit breaker so a
+// workload class that keeps failing is shed without burning workers on it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finser"
+	"finser/internal/breaker"
+	"finser/internal/faultinject"
+	"finser/internal/obs"
+	"finser/internal/retry"
+)
+
+// Admission-rejection sentinels; the HTTP layer maps both to 503.
+var (
+	// ErrQueueFull reports a saturated admission queue.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining reports a server that has stopped admitting for
+	// shutdown.
+	ErrDraining = errors.New("server: draining")
+	// ErrUnknownJob reports a job ID with no record.
+	ErrUnknownJob = errors.New("server: unknown job")
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	DefaultQueueDepth = 16
+	DefaultWorkers    = 2
+	DefaultJobTimeout = time.Hour
+	DefaultRetryAfter = 5 * time.Second
+)
+
+// speciesStages are the per-species workload classes, each behind its own
+// circuit breaker.
+var speciesStages = []struct {
+	name string
+	sp   finser.Species
+}{
+	{"alpha", finser.Alpha},
+	{"proton", finser.Proton},
+}
+
+// Config assembles a Server. The zero value is usable: a 16-deep queue,
+// 2 workers, 1 h job deadline, default retry and breaker policy, no
+// metrics, no checkpointing.
+type Config struct {
+	// QueueDepth bounds the number of admitted-but-not-running jobs.
+	QueueDepth int
+	// Workers is the fixed worker-pool size (concurrent jobs).
+	Workers int
+	// JobTimeout is the default per-job deadline; requests may override
+	// it per job. Zero selects 1 h; negative disables the deadline.
+	JobTimeout time.Duration
+	// RetryAfter is the back-off hint returned with 503 rejections.
+	RetryAfter time.Duration
+	// Retry is the per-stage retry policy template (zero value: retry
+	// defaults). The server installs its own classifier unless one is
+	// set: finser.ConfigError fails fast, everything else is transient.
+	Retry retry.Policy
+	// Breaker is the per-species circuit-breaker template (zero value:
+	// breaker defaults). Name is overwritten per species.
+	Breaker breaker.Config
+	// CheckpointDir, when non-empty, stores one checkpoint file per job
+	// configuration fingerprint, so a drained or crashed job's completed
+	// FIT bins survive and an identical resubmission resumes from them.
+	CheckpointDir string
+	// Metrics, when non-nil, receives serving-layer counters and gauges
+	// (serd/*) and is threaded through each job's flow as FlowConfig.Obs.
+	Metrics *obs.Registry
+	// Faults, when non-nil, is injected into every job's flow — for
+	// robustness tests only.
+	Faults *faultinject.Hooks
+	// Runner overrides the production staged pipeline — tests inject
+	// blocking or instant runners. Nil selects the real flow.
+	Runner func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error)
+}
+
+// Server is the resilient SER job daemon core. Construct with New, launch
+// the pool with Start, serve Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	queue    chan *job
+	breakers map[string]*breaker.Breaker
+	mux      *http.ServeMux
+	wg       sync.WaitGroup
+	running  atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	draining bool
+	baseCtx  context.Context
+	stop     context.CancelFunc
+}
+
+// New builds a server (workers not yet started).
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = DefaultJobTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	baseCtx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		queue:    make(chan *job, cfg.QueueDepth),
+		breakers: map[string]*breaker.Breaker{},
+		jobs:     map[string]*job{},
+		baseCtx:  baseCtx,
+		stop:     stop,
+	}
+	for _, st := range speciesStages {
+		s.breakers[st.name] = s.newBreaker(st.name)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// newBreaker clones the breaker template for one species, layering the
+// trip/state metrics under any user callback.
+func (s *Server) newBreaker(name string) *breaker.Breaker {
+	bc := s.cfg.Breaker
+	bc.Name = name
+	user := bc.OnStateChange
+	bc.OnStateChange = func(n string, from, to breaker.State) {
+		s.reg.Gauge("serd/breaker/" + n + "/state").Set(float64(to))
+		if to == breaker.Open {
+			s.reg.Counter("serd/breaker/" + n + "/trips").Inc()
+		}
+		if user != nil {
+			user(n, from, to)
+		}
+	}
+	return breaker.New(bc)
+}
+
+// Start launches the worker pool. Call once.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Submit validates and admits a job. It returns the queued job's status,
+// or ErrDraining / ErrQueueFull when admission is shut, or a 400-class
+// validation error (*RequestError / *finser.ConfigError).
+func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	cfg, err := req.flowConfig()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Counter("serd/jobs/rejected_draining").Inc()
+		return JobStatus{}, ErrDraining
+	}
+	s.nextID++
+	jctx, jcancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		req:       req,
+		cfg:       cfg,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    jcancel,
+		ctx:       jctx,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		// Load shedding: a full queue refuses immediately rather than
+		// accumulating unbounded goroutines or latency.
+		s.nextID--
+		jcancel()
+		s.reg.Counter("serd/jobs/rejected_full").Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.reg.Counter("serd/jobs/submitted").Inc()
+	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
+	return j.status(), nil
+}
+
+// Status returns one job's state.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// List returns every job in admission order.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job is finalized immediately (workers
+// skip it), a running one has its context cancelled and finalizes when the
+// flow unwinds. Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancel()
+		s.finalizeLocked(j, StateCanceled, "canceled while queued")
+	case StateRunning:
+		j.cancel()
+	}
+	return j.status(), nil
+}
+
+// Draining reports whether admission is shut.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: stop admitting (new submissions
+// see ErrDraining, /readyz flips to 503), cancel every queued and running
+// job, and wait for the workers to unwind. Running flows stop
+// cooperatively within milliseconds; their completed FIT bins are already
+// checkpointed, so a resubmission after restart resumes bit-identically.
+// The context bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Safe: admission checks draining under this same lock, so no
+		// send can race the close.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.stop() // cancels every job context derived from baseCtx
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// RetryAfter returns the 503 back-off hint.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// runJob drives one admitted job through the pipeline and finalizes it.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	if err := j.ctx.Err(); err != nil { // drain landed before pickup
+		s.finalizeLocked(j, StateCanceled, "canceled before start: server draining")
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
+	s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(1)))
+	s.mu.Unlock()
+	defer func() { s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(-1))) }()
+
+	ctx := j.ctx
+	timeout := s.cfg.JobTimeout
+	if j.req.TimeoutSeconds > 0 {
+		timeout = time.Duration(j.req.TimeoutSeconds * float64(time.Second))
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var res *JobResult
+	var err error
+	if s.cfg.Runner != nil {
+		res, err = s.cfg.Runner(ctx, j.cfg)
+	} else {
+		res, err = s.runPipeline(ctx, j)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		j.result = res
+		s.finalizeLocked(j, StateDone, "")
+	case errors.Is(err, context.Canceled):
+		msg := "canceled"
+		if s.draining {
+			msg = "canceled: server draining (resubmit to resume from checkpoint)"
+		}
+		s.finalizeLocked(j, StateCanceled, msg)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finalizeLocked(j, StateFailed, fmt.Sprintf("deadline %v exceeded: %v", timeout, err))
+	default:
+		s.finalizeLocked(j, StateFailed, err.Error())
+	}
+}
+
+// finalizeLocked moves a job to a terminal state; callers hold s.mu.
+func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.err = msg
+	j.finished = time.Now()
+	switch state {
+	case StateDone:
+		s.reg.Counter("serd/jobs/completed").Inc()
+	case StateFailed:
+		s.reg.Counter("serd/jobs/failed").Inc()
+	case StateCanceled:
+		s.reg.Counter("serd/jobs/canceled").Inc()
+	}
+}
+
+// runPipeline is the production staged flow: characterize, then each
+// species' FIT stage behind its circuit breaker, every stage under the
+// retry policy, all against the job's (possibly resumed) checkpoint.
+func (s *Server) runPipeline(ctx context.Context, j *job) (*JobResult, error) {
+	cfg := j.cfg
+	cfg.Obs = s.reg
+	cfg.Faults = s.cfg.Faults
+	if s.cfg.CheckpointDir != "" {
+		store, resumed, err := s.openCheckpoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		cfg.Checkpoint = store
+		s.mu.Lock()
+		j.resumed = resumed
+		s.mu.Unlock()
+	}
+
+	var char *finser.Characterization
+	if err := s.retryStage(ctx, j, "characterize", func(ctx context.Context) error {
+		c, err := finser.CharacterizeFlowCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		char = c
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("characterize stage: %w", err)
+	}
+
+	res := &JobResult{Vdd: cfg.Vdd}
+	dst := map[string]*finser.FITResult{"alpha": &res.Alpha, "proton": &res.Proton}
+	for _, st := range speciesStages {
+		br := s.breakers[st.name]
+		sp := st.sp
+		out := dst[st.name]
+		if err := s.retryStage(ctx, j, st.name, func(ctx context.Context) error {
+			return br.Do(ctx, func(ctx context.Context) error {
+				fit, err := finser.SpeciesFITCtx(ctx, cfg, char, sp)
+				if err != nil {
+					return err
+				}
+				*out = fit
+				return nil
+			})
+		}); err != nil {
+			return nil, fmt.Errorf("%s stage: %w", st.name, err)
+		}
+	}
+	return res, nil
+}
+
+// openCheckpoint opens (or creates) the job's fingerprint-keyed checkpoint
+// file, returning the store and how many stages it restored. An unreadable
+// or mismatched existing file is replaced rather than failing the job — a
+// stale checkpoint must never block fresh work.
+func (s *Server) openCheckpoint(cfg finser.FlowConfig) (*finser.CheckpointStore, int, error) {
+	vdds := []float64{cfg.Vdd}
+	fp, err := finser.FlowFingerprint(cfg, vdds)
+	if err != nil {
+		return nil, 0, err
+	}
+	path := filepath.Join(s.cfg.CheckpointDir, "ser-"+fp[:16]+".ck.json")
+	if _, serr := os.Stat(path); serr == nil {
+		if store, rerr := finser.ResumeCheckpoint(path, cfg, vdds); rerr == nil {
+			return store, len(store.Stages()), nil
+		}
+	}
+	store, err := finser.CreateCheckpoint(path, cfg, vdds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return store, 0, nil
+}
+
+// retryStage runs one pipeline stage under the server's retry policy,
+// counting retries on the job and the registry.
+func (s *Server) retryStage(ctx context.Context, j *job, stage string, op func(context.Context) error) error {
+	pol := s.cfg.Retry
+	if pol.Retryable == nil {
+		pol.Retryable = stageRetryable
+	}
+	user := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error, delay time.Duration) {
+		j.retries.Add(1)
+		s.reg.Counter("serd/retries").Inc()
+		s.reg.Counter("serd/retries/" + stage).Inc()
+		if user != nil {
+			user(attempt, err, delay)
+		}
+	}
+	return retry.Do(ctx, pol, op)
+}
+
+// stageRetryable is the server's transient/permanent classifier:
+// configuration mistakes fail fast (they map to 400 at admission, and to a
+// non-retryable failure if one slips through to run time); context errors
+// follow the caller; everything else — checkpoint I/O, injected faults,
+// open breakers — is transient.
+func stageRetryable(err error) bool {
+	var ce *finser.ConfigError
+	if errors.As(err, &ce) {
+		return false
+	}
+	return retry.Retryable(err)
+}
+
+// ---- HTTP layer ----
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 503s.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// writeUnavailable writes a 503 with the Retry-After hint — the load-shed
+// contract: callers back off and resubmit instead of piling on.
+func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: msg, RetryAfterSeconds: secs})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		s.writeUnavailable(w, err.Error())
+	case errors.Is(err, ErrDraining):
+		s.writeUnavailable(w, err.Error())
+	default:
+		// Validation errors are the caller's fault: 400, not 500, and
+		// never retried server-side.
+		var ce *finser.ConfigError
+		var re *RequestError
+		if errors.As(err, &ce) || errors.As(err, &re) {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process serves; draining or saturated still counts.
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeUnavailable(w, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.reg == nil {
+		w.Write([]byte("{}\n"))
+		return
+	}
+	s.reg.WriteJSON(w)
+}

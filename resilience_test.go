@@ -287,6 +287,80 @@ func TestFlowConfigNamedFieldValidation(t *testing.T) {
 	}
 }
 
+// TestConfigErrorsTyped checks that every validation failure surfaces as a
+// *ConfigError naming the field — the contract the serving layer relies on
+// to map caller mistakes to HTTP 400 instead of retrying them.
+func TestConfigErrorsTyped(t *testing.T) {
+	cases := []struct {
+		field string
+		cfg   FlowConfig
+	}{
+		{"Vdd", FlowConfig{}},
+		{"Samples", FlowConfig{Vdd: 0.8, Samples: -1}},
+		{"ItersPerBin", FlowConfig{Vdd: 0.8, ItersPerBin: -1}},
+		{"Rows", FlowConfig{Vdd: 0.8, Rows: -1}},
+		{"Cols", FlowConfig{Vdd: 0.8, Cols: -1}},
+		{"AlphaBins", FlowConfig{Vdd: 0.8, AlphaBins: -1}},
+		{"ProtonBins", FlowConfig{Vdd: 0.8, ProtonBins: -1}},
+		{"Pattern", FlowConfig{Vdd: 0.8, Pattern: DataPattern(42)}},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.field)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error is not *ConfigError: %v", tc.field, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("ConfigError.Field = %q, want %q (err: %v)", ce.Field, tc.field, err)
+		}
+	}
+	if err := (FlowConfig{Vdd: 0.8}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestStagedFlowMatchesRunFlow checks the serving layer's staged pipeline
+// (CharacterizeFlowCtx + per-species SpeciesFITCtx) reproduces the
+// monolithic RunFlow bit-identically — the invariant that makes daemon
+// results interchangeable with CLI results.
+func TestStagedFlowMatchesRunFlow(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.Samples = 8
+	cfg.ItersPerBin = 400
+	cfg.AlphaBins = 2
+	cfg.ProtonBins = 2
+
+	base, err := RunFlow(cfg)
+	if err != nil {
+		t.Fatalf("RunFlow: %v", err)
+	}
+
+	ctx := context.Background()
+	char, err := CharacterizeFlowCtx(ctx, cfg)
+	if err != nil {
+		t.Fatalf("CharacterizeFlowCtx: %v", err)
+	}
+	alpha, err := SpeciesFITCtx(ctx, cfg, char, Alpha)
+	if err != nil {
+		t.Fatalf("SpeciesFITCtx(alpha): %v", err)
+	}
+	proton, err := SpeciesFITCtx(ctx, cfg, char, Proton)
+	if err != nil {
+		t.Fatalf("SpeciesFITCtx(proton): %v", err)
+	}
+	assertFITEqual(t, "alpha", base.Alpha, alpha)
+	assertFITEqual(t, "proton", base.Proton, proton)
+
+	if _, err := SpeciesFITCtx(ctx, cfg, char, Species(99)); err == nil {
+		t.Error("unsupported species accepted")
+	}
+}
+
 // TestResumeCheckpointRejectsConfigChange checks that a checkpoint taken
 // under one configuration cannot be resumed under another.
 func TestResumeCheckpointRejectsConfigChange(t *testing.T) {
