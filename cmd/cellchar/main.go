@@ -26,17 +26,22 @@ func main() {
 	log.SetPrefix("cellchar: ")
 
 	var (
-		vdd     = flag.Float64("vdd", 0.8, "supply voltage (V)")
-		samples = flag.Int("samples", 200, "process-variation samples")
-		pv      = flag.Bool("pv", true, "model process variation")
-		shapes  = flag.Bool("shapes", false, "run the pulse-shape sensitivity study")
-		mode    = flag.Bool("read", false, "compare hold-mode vs read-mode critical charges")
-		eightT  = flag.Bool("cell8t", false, "compare the 6T cell against the 8T read-decoupled cell")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("out", "", "write the characterization JSON to this file")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot (solver and characterization counters) to this file")
+		vdd      = flag.Float64("vdd", 0.8, "supply voltage (V)")
+		samples  = flag.Int("samples", 200, "process-variation samples")
+		pv       = flag.Bool("pv", true, "model process variation")
+		shapes   = flag.Bool("shapes", false, "run the pulse-shape sensitivity study")
+		mode     = flag.Bool("read", false, "compare hold-mode vs read-mode critical charges")
+		eightT   = flag.Bool("cell8t", false, "compare the 6T cell against the 8T read-decoupled cell")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write the characterization JSON to this file")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (solver and characterization counters) to this file")
+		guardStr = flag.String("guard", "warn", "physics-invariant enforcement: off|warn|strict (strict fails the run on the first violation)")
 	)
 	flag.Parse()
+	guardMode, err := finser.ParseGuardMode(*guardStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var reg *finser.Metrics
 	if *metrics != "" {
@@ -85,6 +90,7 @@ func main() {
 		ProcessVariation: *pv,
 		Seed:             *seed,
 		Metrics:          finser.NewCharMetrics(reg),
+		Guard:            finser.NewGuard(guardMode, reg, log.Printf),
 	}
 	ch, err := finser.Characterize(cfg)
 	if err != nil {

@@ -63,8 +63,14 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
 		ckDir        = flag.String("checkpoint-dir", "", "directory for per-job checkpoints; identical resubmissions resume bit-identically")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for workers to unwind")
+		guardStr     = flag.String("guard", "warn", "physics-invariant enforcement for every job: off|warn|strict (strict fails the job on the first violation)")
 	)
 	flag.Parse()
+
+	guardMode, err := finser.ParseGuardMode(*guardStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *ckDir != "" {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
@@ -80,6 +86,8 @@ func main() {
 		RetryAfter:    *retryAfter,
 		CheckpointDir: *ckDir,
 		Metrics:       reg,
+		Guard:         guardMode,
+		GuardLog:      log.Printf,
 		Retry: retry.Policy{
 			MaxAttempts: *maxAttempts,
 			BaseDelay:   *baseDelay,

@@ -77,6 +77,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); a resumed checkpoint requires the same effective value")
 		timeout  = flag.Duration("timeout", 0, "overall wall-clock budget (e.g. 30m); on expiry partial results are flushed and the exit code is 124")
+		guardStr = flag.String("guard", "warn", "physics-invariant enforcement: off|warn|strict (strict fails the run on the first violation)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Workers = *workers
+	cfg.Guard, err = finser.ParseGuardMode(*guardStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.GuardLog = log.Printf
 	if *resume && *ckPath == "" {
 		log.Fatal("-resume requires -checkpoint")
 	}
@@ -128,6 +134,12 @@ func main() {
 			store, err = finser.CreateCheckpoint(*ckPath, cfg, vdds)
 		}
 		if err != nil {
+			var corrupt *finser.CheckpointCorruptError
+			if errors.As(err, &corrupt) {
+				log.Printf("%v", err)
+				log.Fatalf("the checkpoint file is damaged and cannot be resumed; "+
+					"delete %s and rerun without -resume to start fresh", corrupt.Path)
+			}
 			log.Fatal(err)
 		}
 		cfg.Checkpoint = store

@@ -22,13 +22,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"sort"
 
 	"finser/internal/checkpoint"
 	"finser/internal/core"
 	"finser/internal/ecc"
 	"finser/internal/faultinject"
 	"finser/internal/finfet"
+	"finser/internal/guard"
 	"finser/internal/lifetime"
 	"finser/internal/neutron"
 	"finser/internal/obs"
@@ -115,6 +118,12 @@ type (
 	// (serflow -checkpoint / -resume). Build one with CreateCheckpoint or
 	// ResumeCheckpoint; a nil store disables checkpointing.
 	CheckpointStore = checkpoint.Store
+	// CheckpointCorruptError is the typed error a damaged (truncated,
+	// malformed, or wrong-version) checkpoint file is rejected with. It
+	// names the file and the cause; a merely missing file is a plain I/O
+	// error instead, so callers can tell "never ran" from "damaged".
+	// Match with errors.As.
+	CheckpointCorruptError = checkpoint.CorruptError
 	// FaultHooks injects deterministic failures (worker panics, solver
 	// errors, cancellation) at named sites inside the long-running stages —
 	// for robustness tests only. A nil *FaultHooks is the zero-cost
@@ -123,7 +132,43 @@ type (
 	// PanicError is the stack-carrying error a recovered worker panic
 	// surfaces as; use errors.As to retrieve the stack.
 	PanicError = faultinject.PanicError
+	// Guard is the runtime physics-invariant checker threaded through the
+	// flow (probabilities in range, finite solver outputs, charge
+	// conservation, monotone POF tables, non-negative FIT). A nil *Guard is
+	// the zero-cost off configuration.
+	Guard = guard.Guard
+	// GuardMode is the guard enforcement level (GuardOff/GuardWarn/
+	// GuardStrict).
+	GuardMode = guard.Mode
+	// GuardLogf is the warn-mode log sink signature (log.Printf-compatible).
+	GuardLogf = guard.Logf
+	// InvariantError is the typed error a strict guard fails a stage with,
+	// naming the invariant, the stage, and the offending value. Match with
+	// errors.As.
+	InvariantError = guard.InvariantError
 )
+
+// Guard enforcement modes.
+const (
+	// GuardOff disables every invariant check (the zero value).
+	GuardOff = guard.Off
+	// GuardWarn counts and logs violations but lets the flow continue.
+	GuardWarn = guard.Warn
+	// GuardStrict fails the stage with a typed *InvariantError.
+	GuardStrict = guard.Strict
+)
+
+// ParseGuardMode parses the -guard flag spelling ("off", "warn", "strict").
+func ParseGuardMode(s string) (GuardMode, error) { return guard.ParseMode(s) }
+
+// NewGuard builds a guard at the given mode, counting violations on reg
+// (nil disables counting) and logging warn-mode hits through logf (nil
+// discards). Returns nil — the zero-cost representation — for GuardOff.
+// RunFlow and friends call this internally from FlowConfig.Guard; use it
+// directly when assembling CharConfig or EngineConfig by hand.
+func NewGuard(mode GuardMode, reg *Metrics, logf GuardLogf) *Guard {
+	return guard.New(mode, reg, logf)
+}
 
 // NewFaultHooks returns an empty fault-injection hook set (tests only).
 func NewFaultHooks() *FaultHooks { return faultinject.New() }
@@ -345,6 +390,20 @@ type FlowConfig struct {
 	// Faults, when non-nil, injects deterministic failures into the worker
 	// loops — robustness tests only. Nil (the default) is zero-cost.
 	Faults *FaultHooks
+	// Guard selects the physics-invariant enforcement mode for the whole
+	// flow: GuardOff (default, zero cost), GuardWarn (count violations on
+	// Obs and keep going), or GuardStrict (fail the stage with a typed
+	// *InvariantError). Guard mode never changes the numbers a healthy run
+	// produces, so it is excluded from checkpoint fingerprints.
+	Guard GuardMode
+	// GuardLog, when non-nil, receives warn-mode violation logs (throttled
+	// to one line per invariant and stage). log.Printf fits.
+	GuardLog GuardLogf
+}
+
+// newGuard builds the flow's guard from the config (nil when GuardOff).
+func (c FlowConfig) newGuard() *guard.Guard {
+	return guard.New(c.Guard, c.Obs, c.GuardLog)
 }
 
 // ConfigError reports an invalid FlowConfig field — a caller mistake that
@@ -464,6 +523,7 @@ func RunFlowCtx(ctx context.Context, cfg FlowConfig) (*FlowResult, error) {
 		Metrics:          sram.NewMetrics(cfg.Obs),
 		Progress:         cfg.Progress,
 		Faults:           cfg.Faults,
+		Guard:            cfg.newGuard(),
 	})
 	charSpan.End()
 	if err != nil {
@@ -525,6 +585,7 @@ func buildFlowEngine(cfg FlowConfig, char *Characterization, flow *obs.Span) (*E
 		Metrics:   core.NewMetrics(cfg.Obs),
 		Progress:  cfg.Progress,
 		Faults:    cfg.Faults,
+		Guard:     cfg.newGuard(),
 	}
 	if cfg.Checkpoint != nil {
 		// Guarded assignment: a typed-nil *CheckpointStore must not become
@@ -604,6 +665,7 @@ func CharacterizeFlowCtx(ctx context.Context, cfg FlowConfig) (*Characterization
 		Metrics:          sram.NewMetrics(cfg.Obs),
 		Progress:         cfg.Progress,
 		Faults:           cfg.Faults,
+		Guard:            cfg.newGuard(),
 	})
 	charSpan.End()
 	if err != nil {
@@ -678,7 +740,36 @@ func RunVddSweepCtx(ctx context.Context, cfg FlowConfig, vdds []float64) ([]*Flo
 		}
 		out = append(out, r)
 	}
+	if err := checkSweepMonotonicity(cfg, out); err != nil {
+		return out, err
+	}
 	return out, nil
+}
+
+// checkSweepMonotonicity asserts the paper's Fig. 9 physics across a
+// completed sweep: at a fixed reference charge, raising Vdd must not make
+// the cell easier to flip. The probe charge is the lowest voltage's median
+// critical charge (the steepest part of its POF curve); the tolerance
+// absorbs Monte-Carlo noise between independently characterized voltages.
+func checkSweepMonotonicity(cfg FlowConfig, out []*FlowResult) error {
+	g := cfg.newGuard()
+	if !g.Enabled() || len(out) < 2 {
+		return nil
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return out[idx[a]].Vdd < out[idx[b]].Vdd })
+	qRef := out[idx[0]].Char.QcritQuantile(sram.AxisI1, 0.5)
+	if qRef <= 0 || math.IsInf(qRef, 1) || math.IsNaN(qRef) {
+		return nil // the reference cell never flips; nothing to compare
+	}
+	pofs := make([]float64, len(idx))
+	for k, i := range idx {
+		pofs[k] = out[i].Char.POFSingle(sram.AxisI1, qRef)
+	}
+	return g.MonotoneNonIncreasing("finser.vddsweep", fmt.Sprintf("pof(vdd) @%.3g C", qRef), pofs, 0.05)
 }
 
 // flowFingerprint is the hashable identity of a sweep: every FlowConfig

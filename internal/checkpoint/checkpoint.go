@@ -25,6 +25,28 @@ import (
 // under a different run configuration.
 var ErrConfigMismatch = errors.New("checkpoint: config fingerprint mismatch")
 
+// CorruptError reports a checkpoint file that exists but cannot be decoded —
+// truncated by a dying disk, hand-edited, or not a checkpoint at all. It is
+// typed so callers can distinguish "file is damaged, delete it and restart"
+// from transient I/O failures.
+type CorruptError struct {
+	// Path is the checkpoint file that failed to decode.
+	Path string
+	// Stage is the stage slot that failed, or "" for file-level corruption.
+	Stage string
+	// Cause is the underlying decode error.
+	Cause error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("checkpoint: corrupt stage %q in %s: %v", e.Stage, e.Path, e.Cause)
+	}
+	return fmt.Sprintf("checkpoint: corrupt file %s: %v", e.Path, e.Cause)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Cause }
+
 // Fingerprint returns a stable hex digest of v's JSON encoding — the
 // config identity stamped into checkpoint files.
 func Fingerprint(v any) (string, error) {
@@ -77,10 +99,11 @@ func Resume(path, configHash string) (*Store, error) {
 	}
 	var f file
 	if err := json.Unmarshal(b, &f); err != nil {
-		return nil, fmt.Errorf("checkpoint: resume %s: %w", path, err)
+		return nil, &CorruptError{Path: path, Cause: err}
 	}
 	if f.Version != version {
-		return nil, fmt.Errorf("checkpoint: resume %s: unsupported version %d", path, f.Version)
+		return nil, &CorruptError{Path: path,
+			Cause: fmt.Errorf("unsupported version %d (want %d)", f.Version, version)}
 	}
 	if f.ConfigHash != configHash {
 		return nil, fmt.Errorf("%w: file %s was written for config %.12s…, this run is %.12s…",
@@ -113,7 +136,7 @@ func (s *Store) Load(stage string, v any) (bool, error) {
 		return false, nil
 	}
 	if err := json.Unmarshal(raw, v); err != nil {
-		return false, fmt.Errorf("checkpoint: stage %q: %w", stage, err)
+		return false, &CorruptError{Path: s.path, Stage: stage, Cause: err}
 	}
 	return true, nil
 }

@@ -1,0 +1,48 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCheckpointLoad drives Resume with arbitrary file bytes: every input
+// must either produce a usable store (round-tripping its stages) or fail
+// with a typed error — *CorruptError or ErrConfigMismatch — never a panic
+// and never an untyped decode failure.
+func FuzzCheckpointLoad(f *testing.F) {
+	f.Add([]byte(`{"version":1,"config_hash":"h","stages":{}}`))
+	f.Add([]byte(`{"version":1,"config_hash":"h","stages":{"pof":{"points":[0.1,0.2]}}}`))
+	f.Add([]byte(`{"version":1,"config_hash":"other","stages":{}}`))
+	f.Add([]byte(`{"version":2,"config_hash":"h","stages":{}}`))
+	f.Add([]byte(`{"version":1,"config_hash":"h","stages":{"a":`)) // truncated
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Resume(path, "h")
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) && !errors.Is(err, ErrConfigMismatch) {
+				t.Fatalf("untyped rejection %T: %v", err, err)
+			}
+			return
+		}
+		// An accepted checkpoint must round-trip every stage it claims.
+		for _, stage := range s.Stages() {
+			var v any
+			if _, err := s.Load(stage, &v); err != nil {
+				t.Fatalf("accepted checkpoint fails stage %q load: %v", stage, err)
+			}
+		}
+		// And stay writable: Save must not fail on a resumed store.
+		if err := s.Save("fuzz-probe", 42); err != nil {
+			t.Fatalf("save on resumed store: %v", err)
+		}
+	})
+}

@@ -11,6 +11,8 @@ package circuit
 
 import (
 	"fmt"
+
+	"finser/internal/guard"
 )
 
 // Node identifies a circuit node. Ground is the reference node.
@@ -176,6 +178,10 @@ type Circuit struct {
 	// Metrics, when non-nil, receives solver counters (Newton iterations,
 	// LU solves, transient steps, step halvings). Nil costs nothing.
 	Metrics *Metrics
+	// Guard, when non-nil, checks that accepted transient solutions stay
+	// finite — a NaN node voltage is counted (warn) or fails the simulation
+	// with a typed error (strict). Nil costs one pointer check per step.
+	Guard *guard.Guard
 }
 
 // New returns an empty circuit with default solver settings.

@@ -216,6 +216,15 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 			}
 			continue
 		}
+		if g := c.Guard; g.Enabled() {
+			for i, v := range xNew {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					if err := g.Finite("circuit.transient", fmt.Sprintf("unknown %d at t=%g", i, target), v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
 		res.Stats.Steps++
 		if res.Stats.MinStep == 0 || step < res.Stats.MinStep {
 			res.Stats.MinStep = step

@@ -26,6 +26,7 @@ import (
 	"finser/internal/faultinject"
 	"finser/internal/finfet"
 	"finser/internal/geom"
+	"finser/internal/guard"
 	"finser/internal/layout"
 	"finser/internal/lut"
 	"finser/internal/obs"
@@ -156,6 +157,12 @@ type Config struct {
 	// worker-loop sites — robustness-test only. Nil (the default) costs one
 	// pointer check per particle.
 	Faults *faultinject.Hooks
+	// Guard, when non-nil, checks physics invariants on every particle
+	// (finite deposits, probability-valued POFs, charge conservation from
+	// transport into the cells) and on the integrated FIT numbers. Warn
+	// counts violations; Strict fails the stage with a *guard.InvariantError.
+	// Nil (the default) costs one pointer check per particle.
+	Guard *guard.Guard
 	// NeutronSubstrateDepthNm is the depth of handle-wafer silicon (below
 	// the BOX) modelled as a neutron interaction volume. Energetic reaction
 	// secondaries born there can traverse the BOX and strike fins even
@@ -283,14 +290,16 @@ func (e *Engine) ensureYieldLUT(ctx context.Context, sp phys.Species) (*lut.Tabl
 
 // strike runs steps 1–5 of the paper's §5.1 for one particle. yield is the
 // pre-built mean-yield table in DepositLUT mode (resolved once per energy
-// point, outside the hot loop) and nil in transport mode.
-func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yieldTab *lut.Table1D) strikeOutcome {
+// point, outside the hot loop) and nil in transport mode. The error is
+// non-nil only under a strict guard, when a physics invariant (finite
+// deposits, POF ∈ [0,1], charge conservation) is violated.
+func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yieldTab *lut.Table1D) (strikeOutcome, error) {
 	ray := e.sampleRay(src, sp)
 
 	// Broad phase: only trace fins of cells whose bounds the ray crosses.
 	candidate := candidateFins(e, ray)
 	if len(candidate) == 0 {
-		return strikeOutcome{}
+		return strikeOutcome{}, nil
 	}
 	var deps []transport.Deposit
 	if e.cfg.Deposits == DepositLUT {
@@ -310,7 +319,10 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 		deps = transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
 	}
 	if len(deps) == 0 {
-		return strikeOutcome{}
+		return strikeOutcome{}, nil
+	}
+	if err := transport.CheckDeposits(e.cfg.Guard, "core.strike", deps); err != nil {
+		return strikeOutcome{}, err
 	}
 	if m := e.cfg.Metrics; m != nil {
 		if e.cfg.Deposits == DepositLUT {
@@ -323,6 +335,7 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 	// Accumulate per-cell sensitive-axis charges.
 	fins := e.arr.Fins()
 	charges := map[int]*[sram.NumAxes]float64{}
+	deposited := 0.0 // charge landing on sensitive transistors, for the guard
 	for _, d := range deps {
 		f := fins[candidate[d.Fin]]
 		bit := e.cfg.Pattern.Bit(f.Row, f.Col)
@@ -336,20 +349,40 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 			cc = new([sram.NumAxes]float64)
 			charges[ci] = cc
 		}
-		cc[axis] += phys.ChargeFromPairs(d.Pairs)
+		q := phys.ChargeFromPairs(d.Pairs)
+		cc[axis] += q
+		deposited += q
 	}
 	if len(charges) == 0 {
-		return strikeOutcome{}
+		return strikeOutcome{}, nil
+	}
+	if g := e.cfg.Guard; g.Enabled() {
+		// Charge conservation: what the cells are about to see must equal
+		// what transport deposited on sensitive transistors. The sums run in
+		// different orders, so allow float round-off.
+		injected := 0.0
+		for _, cc := range charges {
+			for a := range cc {
+				injected += cc[a]
+			}
+		}
+		if err := g.Conserved("core.strike", "injected charge", injected, deposited, 1e-9, 1e-30); err != nil {
+			return strikeOutcome{}, err
+		}
 	}
 
 	// Per-cell POFs and the paper's Eqs. 4–6.
 	pofs := make([]float64, 0, len(charges))
 	for ci, cc := range charges {
-		if p := e.providerFor(ci).POF(*cc); p > 0 {
+		p := e.providerFor(ci).POF(*cc)
+		if err := e.cfg.Guard.Probability("core.strike", "cell POF", p); err != nil {
+			return strikeOutcome{}, err
+		}
+		if p > 0 {
 			pofs = append(pofs, p)
 		}
 	}
-	return combinePOFs(pofs, len(charges))
+	return combinePOFs(pofs, len(charges)), nil
 }
 
 // candidateFins returns indices of fins in cells the ray can reach. Cells
@@ -585,7 +618,11 @@ func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV 
 						break
 					}
 				}
-				o := e.strike(src, sp, energyMeV, yieldTab)
+				o, err := e.strike(src, sp, energyMeV, yieldTab)
+				if err != nil {
+					errs[w] = err
+					break
+				}
 				a.tot.Add(o.pofTot)
 				a.seu.Add(o.pofSEU)
 				a.mbu.Add(o.pofMBU)
@@ -647,7 +684,7 @@ func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV 
 			m.WorkerUtilization.Set(float64(busyNs) / float64(wallNs))
 		}
 	}
-	return POFPoint{
+	pt := POFPoint{
 		EnergyMeV: energyMeV,
 		Tot:       tot.Mean(),
 		SEU:       seu.Mean(),
@@ -655,7 +692,31 @@ func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV 
 		TotStdErr: tot.StdErr(),
 		Strikes:   iters,
 		HitFrac:   float64(hits) / float64(iters),
-	}, nil
+	}
+	if err := checkPOFPoint(e.cfg.Guard, "core.pof", pt); err != nil {
+		return POFPoint{}, err
+	}
+	return pt, nil
+}
+
+// checkPOFPoint runs the guard's probability invariants over one energy
+// point — used both on freshly computed points and on points restored from
+// a checkpoint file, which is a disk trust boundary.
+func checkPOFPoint(g *guard.Guard, stage string, pt POFPoint) error {
+	if !g.Enabled() {
+		return nil
+	}
+	name := fmt.Sprintf("POF @%g MeV", pt.EnergyMeV)
+	if err := g.Probability(stage, name+" (tot)", pt.Tot); err != nil {
+		return err
+	}
+	if err := g.Probability(stage, name+" (seu)", pt.SEU); err != nil {
+		return err
+	}
+	if err := g.Probability(stage, name+" (mbu)", pt.MBU); err != nil {
+		return err
+	}
+	return g.NonNegativeFinite(stage, name+" (stderr)", pt.TotStdErr)
 }
 
 // FITResult is the spectrum-integrated failure rate of the array.
@@ -754,6 +815,13 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 			if err := compatibleFITState(prev, state, len(bins)); err != nil {
 				return FITResult{}, fmt.Errorf("core: %s: checkpoint: %w", ckStage, err)
 			}
+			// Restored points crossed a disk boundary: re-check them as if
+			// they were freshly computed.
+			for _, pt := range prev.Points {
+				if err := checkPOFPoint(e.cfg.Guard, stage+" (resumed)", pt); err != nil {
+					return FITResult{}, err
+				}
+			}
 			state.Points = prev.Points
 		}
 	}
@@ -797,6 +865,19 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	}
 	if res.SEUFIT > 0 {
 		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
+	}
+	if g := e.cfg.Guard; g.Enabled() {
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"TotalFIT", res.TotalFIT}, {"SEUFIT", res.SEUFIT},
+			{"MBUFIT", res.MBUFIT}, {"TotalFITErr", res.TotalFITErr},
+		} {
+			if err := g.NonNegativeFinite(stage, c.name, c.v); err != nil {
+				return FITResult{}, err
+			}
+		}
 	}
 	return res, nil
 }

@@ -132,7 +132,10 @@ func TestStrikeChargeSanity(t *testing.T) {
 	e := engineWith(t, ch)
 	src := rng.New(123)
 	for i := 0; i < 2000; i++ {
-		o := e.strike(src, phys.Alpha, 1, nil)
+		o, err := e.strike(src, phys.Alpha, 1, nil)
+		if err != nil {
+			t.Fatalf("strike: %v", err)
+		}
 		if o.pofTot < 0 || o.pofTot > 1 || o.pofSEU < 0 || o.pofMBU < 0 {
 			t.Fatalf("POF out of range: %+v", o)
 		}

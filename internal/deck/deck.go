@@ -20,6 +20,7 @@ package deck
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -103,6 +104,12 @@ func ParseValue(s string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("deck: bad value %q", s)
 	}
+	// Reject non-finite values explicitly: the suffix trim can expose "nan"
+	// or "inf" to ParseFloat (e.g. "nank", "infu"), and a NaN element value
+	// would sail through every downstream sign check into the solver.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("deck: non-finite value %q", s)
+	}
 	return v * mult, nil
 }
 
@@ -133,11 +140,33 @@ func trimFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
+// ParseError reports a malformed netlist card — the typed error the deck
+// trust boundary surfaces so callers can point users at the offending line.
+type ParseError struct {
+	// Line is the 1-based physical line the card started on.
+	Line int
+	// Card is the logical card text (continuations folded).
+	Card string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("deck: line %d (%q): %v", e.Line, e.Card, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Parse reads a deck. Continuation lines ('+') are folded; '*' comments and
-// unsupported dot-cards are skipped; .end stops parsing.
+// unsupported dot-cards are skipped; .end stops parsing. A malformed card
+// fails with a *ParseError naming the line.
 func Parse(r io.Reader) (*Deck, error) {
 	sc := bufio.NewScanner(r)
-	var logical []string
+	type logicalLine struct {
+		text string
+		line int
+	}
+	var logical []logicalLine
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -148,32 +177,33 @@ func Parse(r io.Reader) (*Deck, error) {
 		}
 		if strings.HasPrefix(trimmed, "+") {
 			if len(logical) == 0 {
-				return nil, fmt.Errorf("deck: line %d: continuation with no previous card", lineNo)
+				return nil, &ParseError{Line: lineNo, Card: trimmed,
+					Err: errors.New("continuation with no previous card")}
 			}
-			logical[len(logical)-1] += " " + strings.TrimPrefix(trimmed, "+")
+			logical[len(logical)-1].text += " " + strings.TrimPrefix(trimmed, "+")
 			continue
 		}
-		logical = append(logical, trimmed)
+		logical = append(logical, logicalLine{text: trimmed, line: lineNo})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("deck: read: %w", err)
 	}
 
 	d := &Deck{}
-	for _, line := range logical {
-		lower := strings.ToLower(line)
+	for _, ll := range logical {
+		lower := strings.ToLower(ll.text)
 		switch {
 		case strings.HasPrefix(lower, ".title"):
-			d.Title = strings.TrimSpace(line[len(".title"):])
+			d.Title = strings.TrimSpace(ll.text[len(".title"):])
 			continue
 		case strings.HasPrefix(lower, ".end"):
 			return d, nil
 		case strings.HasPrefix(lower, "."):
 			continue // other dot-cards ignored
 		}
-		card, err := parseCard(line)
+		card, err := parseCard(ll.text)
 		if err != nil {
-			return nil, err
+			return nil, &ParseError{Line: ll.line, Card: ll.text, Err: err}
 		}
 		d.Cards = append(d.Cards, card)
 	}
@@ -183,17 +213,17 @@ func Parse(r io.Reader) (*Deck, error) {
 func parseCard(line string) (Card, error) {
 	fields := tokenize(line)
 	if len(fields) < 3 {
-		return Card{}, fmt.Errorf("deck: short card %q", line)
+		return Card{}, fmt.Errorf("short card %q", line)
 	}
 	name := fields[0]
 	switch strings.ToLower(name[:1]) {
 	case "r", "c":
 		if len(fields) != 4 {
-			return Card{}, fmt.Errorf("deck: %s needs 2 nodes and a value", name)
+			return Card{}, fmt.Errorf("%s needs 2 nodes and a value", name)
 		}
 		v, err := ParseValue(fields[3])
 		if err != nil {
-			return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+			return Card{}, fmt.Errorf("%s: %w", name, err)
 		}
 		kind := CardResistor
 		if strings.EqualFold(name[:1], "c") {
@@ -206,47 +236,47 @@ func parseCard(line string) (Card, error) {
 			kind = CardISource
 		}
 		if len(fields) < 4 {
-			return Card{}, fmt.Errorf("deck: %s needs 2 nodes and a value", name)
+			return Card{}, fmt.Errorf("%s needs 2 nodes and a value", name)
 		}
 		rest := strings.Join(fields[3:], " ")
 		if strings.HasPrefix(strings.ToLower(rest), "pulse") {
 			p, err := parsePulse(rest)
 			if err != nil {
-				return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+				return Card{}, fmt.Errorf("%s: %w", name, err)
 			}
 			return Card{Kind: kind, Name: name, Nodes: fields[1:3], Pulse: &p}, nil
 		}
 		if len(fields) != 4 {
-			return Card{}, fmt.Errorf("deck: %s has trailing fields", name)
+			return Card{}, fmt.Errorf("%s has trailing fields", name)
 		}
 		v, err := ParseValue(fields[3])
 		if err != nil {
-			return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+			return Card{}, fmt.Errorf("%s: %w", name, err)
 		}
 		return Card{Kind: kind, Name: name, Nodes: fields[1:3], Value: v}, nil
 	case "m":
 		if len(fields) < 5 {
-			return Card{}, fmt.Errorf("deck: %s needs d g s and a model", name)
+			return Card{}, fmt.Errorf("%s needs d g s and a model", name)
 		}
 		card := Card{Kind: CardFinFET, Name: name, Nodes: fields[1:4],
 			Model: strings.ToLower(fields[4]), Params: map[string]float64{}}
 		if card.Model != "nfet" && card.Model != "pfet" {
-			return Card{}, fmt.Errorf("deck: %s: unknown model %q (want nfet|pfet)", name, fields[4])
+			return Card{}, fmt.Errorf("%s: unknown model %q (want nfet|pfet)", name, fields[4])
 		}
 		for _, f := range fields[5:] {
 			k, v, ok := strings.Cut(f, "=")
 			if !ok {
-				return Card{}, fmt.Errorf("deck: %s: bad parameter %q", name, f)
+				return Card{}, fmt.Errorf("%s: bad parameter %q", name, f)
 			}
 			val, err := ParseValue(v)
 			if err != nil {
-				return Card{}, fmt.Errorf("deck: %s: %w", name, err)
+				return Card{}, fmt.Errorf("%s: %w", name, err)
 			}
 			card.Params[strings.ToLower(k)] = val
 		}
 		return card, nil
 	default:
-		return Card{}, fmt.Errorf("deck: unsupported element %q", name)
+		return Card{}, fmt.Errorf("unsupported element %q", name)
 	}
 }
 
@@ -291,6 +321,11 @@ func parsePulse(s string) (Pulse, error) {
 			return Pulse{}, err
 		}
 		vals[i] = v
+	}
+	for _, tv := range vals[2:] {
+		if tv < 0 {
+			return Pulse{}, fmt.Errorf("PULSE timing parameters must be non-negative, got %g", tv)
+		}
 	}
 	return Pulse{V1: vals[0], V2: vals[1], Delay: vals[2], Rise: vals[3], Fall: vals[4], Width: vals[5]}, nil
 }
@@ -341,6 +376,9 @@ func (d *Deck) Build(tech finfet.Technology) (*circuit.Circuit, map[string]circu
 			}
 			nfins := 1
 			if v, ok := card.Params["nfins"]; ok {
+				if v != math.Trunc(v) || v < 1 {
+					return nil, nil, fmt.Errorf("deck: %s: nfins must be a positive integer, got %g", card.Name, v)
+				}
 				nfins = int(v)
 			}
 			p := finfet.ParamsFor(tech, pol, nfins)

@@ -1,0 +1,47 @@
+package deck
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDeckParse drives the netlist trust boundary: arbitrary text must
+// either fail with a *ParseError (or read error) or parse into a deck that
+// writes back out and re-parses cleanly — never a panic, never a
+// half-constructed card.
+func FuzzDeckParse(f *testing.F) {
+	f.Add(".title divider\nR1 in mid 1k\nR2 mid 0 1k\nV1 in 0 1.0\n.end\n")
+	f.Add("Cload q 0 0.5f\nIstrike q 0 PULSE(0 1u 10p 1p 1p 5p)\n")
+	f.Add("M1 q wl blt nfet nfins=2 dvth=0.01\nM2 q vdd qb pfet\n")
+	f.Add("V1 in 0\n+ PULSE(0 0.8 0 1p\n+ 1p 50p)\n")
+	f.Add("* only a comment\n")
+	f.Add("R1 a b nank\n")
+	f.Add("+ orphan continuation\n")
+	f.Add("R1 a\n")
+	f.Add(".end\nR1 a b 1k\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(strings.NewReader(text))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && !strings.Contains(err.Error(), "deck:") {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			return
+		}
+		// An accepted deck must survive a write → re-parse round trip.
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ncanonical form:\n%s", err, buf.String())
+		}
+		if len(d2.Cards) != len(d.Cards) {
+			t.Fatalf("round trip card count %d != %d", len(d2.Cards), len(d.Cards))
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package deck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"finser/internal/finfet"
+)
+
+// TestParseRejectsMalformedDecks drives the netlist trust boundary with the
+// corruption classes a hand-edited or truncated deck can carry. Every case
+// must surface a *ParseError naming the offending line — never a zero-value
+// card and never a panic.
+func TestParseRejectsMalformedDecks(t *testing.T) {
+	cases := []struct {
+		name    string
+		deck    string
+		line    int    // expected ParseError.Line (0 = don't check)
+		errNeed string // substring the error must contain
+	}{
+		{"non-finite value via suffix trim", "R1 a b nank", 1, "non-finite"},
+		{"inf value via suffix trim", "C1 a b infu", 1, "non-finite"},
+		{"inf via big exponent", "R1 a b 1e999", 1, "bad value"},
+		{"short card", "R1 a", 1, "short card"},
+		{"resistor missing value", "R1 a b", 1, "2 nodes and a value"},
+		{"resistor trailing fields", "R1 a b 1k extra", 1, "2 nodes and a value"},
+		{"bad pulse arity", "V1 a 0 PULSE(0 1 0)", 1, "6 arguments"},
+		{"negative pulse width", "I1 a 0 PULSE(0 1u 0 1p 1p -5p)", 1, "non-negative"},
+		{"unparseable pulse arg", "V1 a 0 PULSE(0 1 x 1p 1p 5p)", 1, "bad value"},
+		{"finfet missing model", "M1 d g s", 1, "needs d g s and a model"},
+		{"finfet unknown model", "M1 d g s cmos", 1, "unknown model"},
+		{"finfet bare parameter", "M1 d g s nfet nfins", 1, "bad parameter"},
+		{"finfet bad param value", "M1 d g s nfet nfins=abc", 1, "bad value"},
+		{"unsupported element", "Q1 a b c", 1, "unsupported element"},
+		{"continuation first", "+ 1k", 1, "continuation"},
+		{"error on later line", "* comment\nR1 a b 1k\nC1 a b\n", 3, "2 nodes and a value"},
+		{"error in folded card", "V1 a 0\n+ PULSE(0 1 0)", 1, "6 arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.deck))
+			if err == nil {
+				t.Fatal("malformed deck accepted")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *ParseError: %v", err, err)
+			}
+			if c.line != 0 && pe.Line != c.line {
+				t.Errorf("ParseError.Line = %d, want %d (%v)", pe.Line, c.line, err)
+			}
+			if !strings.Contains(err.Error(), c.errNeed) {
+				t.Errorf("error %q does not mention %q", err, c.errNeed)
+			}
+		})
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		deck string
+		need string
+	}{
+		{"zero resistance", "R1 a b 0", "non-positive resistance"},
+		{"negative capacitance", "C1 a b -1f", "non-positive capacitance"},
+		{"fractional nfins", "M1 d g s nfet nfins=1.5", "positive integer"},
+		{"zero nfins", "M1 d g s nfet nfins=0", "positive integer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(c.deck))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, _, err := d.Build(finfet.Default14nmSOI()); err == nil {
+				t.Fatal("bad deck built")
+			} else if !strings.Contains(err.Error(), c.need) {
+				t.Errorf("error %q does not mention %q", err, c.need)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package lut
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTable1D drives the JSON trust boundary: arbitrary bytes must
+// either be rejected with an error or produce a table whose own fields
+// re-validate and evaluate to finite values across the domain — never a
+// panic, never a silently-accepted corrupt table.
+func FuzzReadTable1D(f *testing.F) {
+	f.Add([]byte(`{"x":[1,2,3],"y":[10,20,30],"xscale":0,"yscale":0}`))
+	f.Add([]byte(`{"x":[0.1,1,10],"y":[1e3,1e4,1e5],"xscale":1,"yscale":1}`))
+	f.Add([]byte(`{"x":[1,2],"y":[0,1]}`))
+	f.Add([]byte(`{"x":[2,1],"y":[1,2]}`))            // non-monotone X
+	f.Add([]byte(`{"x":[1,"NaN"],"y":[1,2]}`))        // type confusion
+	f.Add([]byte(`{"x":[1,null],"y":[1,2]}`))         // null element
+	f.Add([]byte(`{"x":[1,2,3],"y":[1,2]}`))          // length mismatch
+	f.Add([]byte(`{"x":[1,2],"y":[1,2],"xscale":9}`)) // bad scale
+	f.Add([]byte(`{"x":[1,2],"y":[1`))                // truncated
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := ReadTable1D(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// An accepted table must re-validate from its own fields...
+		if _, err := NewTable1D(tab.X, tab.Y, tab.XScale, tab.YScale); err != nil {
+			t.Fatalf("accepted table fails re-validation: %v", err)
+		}
+		// ...and interpolate to finite values everywhere we probe.
+		lo, hi := tab.Domain()
+		for _, x := range []float64{lo, hi, (lo + hi) / 2, lo - 1, hi + 1} {
+			if y := tab.Eval(x); math.IsNaN(y) || math.IsInf(y, 0) {
+				t.Fatalf("accepted table evaluates to %g at %g", y, x)
+			}
+		}
+		// Round trip: what we serialize must read back cleanly.
+		var buf strings.Builder
+		if err := tab.WriteJSON(&buf); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		if _, err := ReadTable1D(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

@@ -35,9 +35,15 @@ type Table1D struct {
 }
 
 // NewTable1D validates and constructs a table. X must be strictly
-// increasing with at least two points, and positive where Log scales are
-// requested.
+// increasing with at least two points, every value finite, and positive
+// where Log scales are requested.
 func NewTable1D(x, y []float64, xs, ys Scale) (*Table1D, error) {
+	if xs != Linear && xs != Log {
+		return nil, fmt.Errorf("lut: unknown X scale %d", xs)
+	}
+	if ys != Linear && ys != Log {
+		return nil, fmt.Errorf("lut: unknown Y scale %d", ys)
+	}
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("lut: length mismatch %d vs %d", len(x), len(y))
 	}
@@ -47,6 +53,9 @@ func NewTable1D(x, y []float64, xs, ys Scale) (*Table1D, error) {
 	for i := range x {
 		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
 			return nil, fmt.Errorf("lut: NaN at index %d", i)
+		}
+		if math.IsInf(x[i], 0) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("lut: non-finite value at index %d", i)
 		}
 		if i > 0 && x[i] <= x[i-1] {
 			return nil, fmt.Errorf("lut: X not strictly increasing at index %d", i)

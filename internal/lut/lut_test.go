@@ -169,6 +169,43 @@ func TestReadRejectsBadJSON(t *testing.T) {
 	}
 }
 
+// TestReadRejectsMalformedTables drives the trust boundary with the
+// hand-edited-LUT corruption classes: each must be rejected at load, never
+// interpolated into garbage.
+func TestReadRejectsMalformedTables(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"NaN Y mid-table", `{"x":[1,2,3],"y":[1,NaN,3]}`},
+		{"non-monotone X", `{"x":[1,3,2],"y":[1,2,3]}`},
+		{"duplicate X", `{"x":[1,2,2],"y":[1,2,3]}`},
+		{"wrong lengths", `{"x":[1,2,3],"y":[1,2]}`},
+		{"single point", `{"x":[1],"y":[1]}`},
+		{"empty arrays", `{"x":[],"y":[]}`},
+		{"truncated JSON", `{"x":[1,2,3],"y":[1,2`},
+		{"Inf via big exponent", `{"x":[1,2],"y":[1,1e999]}`},
+		{"unknown scale", `{"x":[1,2],"y":[1,2],"xscale":7}`},
+		{"log scale with zero", `{"x":[0,1],"y":[1,2],"xscale":1}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if tab, err := ReadTable1D(bytes.NewBufferString(c.json)); err == nil {
+				t.Errorf("malformed table accepted: %+v", tab)
+			}
+		})
+	}
+}
+
+func TestNewTable1DRejectsInf(t *testing.T) {
+	if _, err := NewTable1D([]float64{1, 2, math.Inf(1)}, []float64{1, 2, 3}, Linear, Linear); err == nil {
+		t.Error("Inf X accepted")
+	}
+	if _, err := NewTable1D([]float64{1, 2}, []float64{1, math.Inf(1)}, Linear, Linear); err == nil {
+		t.Error("Inf Y accepted")
+	}
+}
+
 func TestLogSpace(t *testing.T) {
 	pts := LogSpace(0.1, 100, 7)
 	if len(pts) != 7 || pts[0] != 0.1 || pts[6] != 100 {

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"finser"
+)
+
+// TestOversizedSubmitBodySheds413 drives the submit trust boundary: a body
+// past the 1 MiB cap must be refused with 413 and a JSON error body, not
+// streamed into the decoder.
+func TestOversizedSubmitBodySheds413(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A syntactically plausible but oversized body: a giant pattern field.
+	body := `{"vdd":0.8,"pattern":"` + strings.Repeat("x", maxSubmitBytes+1024) + `"}`
+	resp, raw := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON error body", ct)
+	}
+	if !strings.Contains(string(raw), "exceeds") {
+		t.Errorf("error body %q does not explain the limit", raw)
+	}
+
+	// The server must still be healthy for a normal-size follow-up.
+	resp, raw = postJob(t, ts, `{"vdd":0.0}`) // invalid, but parsed: proves decode works
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("follow-up status = %d, want 400; body %s", resp.StatusCode, raw)
+	}
+}
+
+// TestGuardModeThreadedIntoJobs checks the serving layer forwards its guard
+// configuration into each job's flow config.
+func TestGuardModeThreadedIntoJobs(t *testing.T) {
+	got := make(chan finser.GuardMode, 1)
+	s := New(Config{
+		Workers: 1,
+		Guard:   finser.GuardStrict,
+		Runner: func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error) {
+			got <- cfg.Guard
+			return &JobResult{Vdd: cfg.Vdd}, nil
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, raw := postJob(t, ts, `{"vdd":0.8}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, raw)
+	}
+	if mode := <-got; mode != finser.GuardStrict {
+		t.Fatalf("job ran with guard mode %v, want strict", mode)
+	}
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// Faults, when non-nil, is injected into every job's flow — for
 	// robustness tests only.
 	Faults *faultinject.Hooks
+	// Guard selects the physics-invariant enforcement mode threaded into
+	// every job's flow (finser.GuardOff/GuardWarn/GuardStrict). Violations
+	// are counted on Metrics under guard/* and show up in /metrics.
+	Guard finser.GuardMode
+	// GuardLog, when non-nil, receives warn-mode guard violation logs.
+	GuardLog finser.GuardLogf
 	// Runner overrides the production staged pipeline — tests inject
 	// blocking or instant runners. Nil selects the real flow.
 	Runner func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error)
@@ -201,6 +207,11 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if err := cfg.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	// The guard configuration is the server's policy, not the client's:
+	// attach it at admission so every execution path (including injected
+	// runners) sees it.
+	cfg.Guard = s.cfg.Guard
+	cfg.GuardLog = s.cfg.GuardLog
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -529,11 +540,23 @@ func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: msg, RetryAfterSeconds: secs})
 }
 
+// maxSubmitBytes bounds the submit request body. A job request is a small
+// flat JSON object; anything near a megabyte is a mistake or an attack, and
+// without the cap a client could stream an unbounded body into the decoder.
+const maxSubmitBytes = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var req JobRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}

@@ -12,6 +12,7 @@ import (
 
 	"finser/internal/faultinject"
 	"finser/internal/finfet"
+	"finser/internal/guard"
 	"finser/internal/obs"
 	"finser/internal/rng"
 	"finser/internal/stats"
@@ -53,6 +54,10 @@ type CharConfig struct {
 	// per-sample worker site — robustness-test only. Nil costs one pointer
 	// check per sample.
 	Faults *faultinject.Hooks
+	// Guard, when non-nil, checks physics invariants (finite critical
+	// charges, probability-valued POFs) at stage boundaries. Nil costs one
+	// pointer check per sample.
+	Guard *guard.Guard
 }
 
 func (c CharConfig) withDefaults() CharConfig {
@@ -143,10 +148,18 @@ func CharacterizeCtx(ctx context.Context, cfg CharConfig) (*Characterization, er
 			return qc, err
 		}
 		cell.SetMetrics(cfg.Metrics)
+		cell.SetGuard(cfg.Guard)
 		for a := AxisI1; a < NumAxes; a++ {
 			q, err := cell.CriticalCharge(a, cfg.ChargeLo, cfg.ChargeHi, cfg.Shape)
 			if err != nil {
 				return qc, err
+			}
+			// +Inf is the legal "unflippable at any charge" sentinel; NaN or
+			// -Inf means the bisection itself went wrong.
+			if !math.IsInf(q, 1) {
+				if err := cfg.Guard.Finite("sram.characterize", fmt.Sprintf("qcrit axis %d", a), q); err != nil {
+					return qc, err
+				}
 			}
 			qc[a] = q
 		}
@@ -304,18 +317,36 @@ func (ch *Characterization) WriteJSON(w io.Writer) error {
 	return enc.Encode(ch)
 }
 
-// ReadCharacterization deserializes a characterization and rebuilds its
-// lookup structures.
+// ReadCharacterization deserializes a characterization, re-runs the
+// validation a freshly built one satisfies by construction, and rebuilds
+// its lookup structures. A characterization from disk is untrusted input:
+// NaN or negative critical charges would silently poison every downstream
+// POF, so they are rejected here. (+Inf stays legal — it is the
+// "unflippable" sentinel.)
 func ReadCharacterization(r io.Reader) (*Characterization, error) {
 	var ch Characterization
 	if err := json.NewDecoder(r).Decode(&ch); err != nil {
 		return nil, fmt.Errorf("sram: decode characterization: %w", err)
+	}
+	if math.IsNaN(ch.Vdd) || math.IsInf(ch.Vdd, 0) || ch.Vdd <= 0 {
+		return nil, fmt.Errorf("sram: characterization Vdd %g is not a positive voltage", ch.Vdd)
+	}
+	if ch.Samples <= 0 {
+		return nil, fmt.Errorf("sram: characterization claims %d samples", ch.Samples)
 	}
 	for a := range ch.Axis {
 		if len(ch.Axis[a]) != ch.Samples {
 			return nil, fmt.Errorf("sram: axis %d has %d samples, want %d",
 				a, len(ch.Axis[a]), ch.Samples)
 		}
+		for i, q := range ch.Axis[a] {
+			if math.IsNaN(q) || q <= 0 || math.IsInf(q, -1) {
+				return nil, fmt.Errorf("sram: axis %d sample %d has critical charge %g, want positive (or +Inf)", a, i, q)
+			}
+		}
+	}
+	if len(ch.Shifts) != 0 && len(ch.Shifts) != ch.Samples {
+		return nil, fmt.Errorf("sram: %d Vth shift records for %d samples", len(ch.Shifts), ch.Samples)
 	}
 	if err := ch.finish(); err != nil {
 		return nil, err

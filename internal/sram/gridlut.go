@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"sort"
+
+	"finser/internal/guard"
 )
 
 // GridLUT is the paper's literal POF look-up-table format: POF sampled on
@@ -197,31 +199,139 @@ func (g *GridLUT) WriteJSON(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// ReadGridLUT deserializes and validates a table.
+// ReadGridLUT deserializes a table and re-runs the full construction
+// validation — a LUT loaded from disk earns exactly the same trust as one
+// BuildGridLUT just produced, no more.
 func ReadGridLUT(r io.Reader) (*GridLUT, error) {
 	var g GridLUT
 	if err := json.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("sram: decode grid LUT: %w", err)
 	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Validate checks the structural and physical invariants every usable
+// GridLUT satisfies: positive finite Vdd, strictly increasing positive
+// charge grids, full table shapes, and every stored POF a probability.
+// BuildGridLUT output passes by construction; ReadGridLUT enforces it on
+// the JSON trust boundary.
+func (g *GridLUT) Validate() error {
+	if math.IsNaN(g.Vdd) || math.IsInf(g.Vdd, 0) || g.Vdd <= 0 {
+		return fmt.Errorf("sram: grid LUT Vdd %g is not a positive voltage", g.Vdd)
+	}
 	if len(g.QGrid) < 2 || len(g.CoarseGrid) < 2 {
-		return nil, errors.New("sram: grid LUT has degenerate grids")
+		return errors.New("sram: grid LUT has degenerate grids")
+	}
+	for _, grid := range [][]float64{g.QGrid, g.CoarseGrid} {
+		for i, q := range grid {
+			if math.IsNaN(q) || math.IsInf(q, 0) || q <= 0 {
+				return fmt.Errorf("sram: grid charge %g at index %d is not positive finite", q, i)
+			}
+			if i > 0 && q <= grid[i-1] {
+				return fmt.Errorf("sram: charge grid not strictly increasing at index %d", i)
+			}
+		}
+	}
+	checkPOF := func(where string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("sram: grid LUT %s holds %g, not a probability", where, v)
+		}
+		return nil
 	}
 	for a := range g.Single {
 		if len(g.Single[a]) != len(g.QGrid) {
-			return nil, fmt.Errorf("sram: axis %d table size mismatch", a)
+			return fmt.Errorf("sram: axis %d table size mismatch", a)
+		}
+		for i, v := range g.Single[a] {
+			if err := checkPOF(fmt.Sprintf("single[%d][%d]", a, i), v); err != nil {
+				return err
+			}
 		}
 	}
 	n := len(g.CoarseGrid)
 	for k := range g.Pairs {
 		if len(g.Pairs[k]) != n {
-			return nil, fmt.Errorf("sram: pair table %d size mismatch", k)
+			return fmt.Errorf("sram: pair table %d size mismatch", k)
+		}
+		for i := range g.Pairs[k] {
+			if len(g.Pairs[k][i]) != n {
+				return fmt.Errorf("sram: pair table %d row %d size mismatch", k, i)
+			}
+			for j, v := range g.Pairs[k][i] {
+				if err := checkPOF(fmt.Sprintf("pairs[%d][%d][%d]", k, i, j), v); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if len(g.Triple) != n {
-		return nil, errors.New("sram: triple table size mismatch")
+		return errors.New("sram: triple table size mismatch")
 	}
-	return &g, nil
+	for i := range g.Triple {
+		if len(g.Triple[i]) != n {
+			return fmt.Errorf("sram: triple table plane %d size mismatch", i)
+		}
+		for j := range g.Triple[i] {
+			if len(g.Triple[i][j]) != n {
+				return fmt.Errorf("sram: triple table row %d,%d size mismatch", i, j)
+			}
+			for k, v := range g.Triple[i][j] {
+				if err := checkPOF(fmt.Sprintf("triple[%d][%d][%d]", i, j, k), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
+
+// CheckInvariants runs the guard's physics invariants over the table: every
+// stored value is a probability and each single-axis POF curve is monotone
+// non-decreasing in charge (more collected charge never makes a flip less
+// likely; tol absorbs Monte-Carlo sampling noise). The first violation is
+// returned in strict mode; warn mode counts them all and returns nil.
+func (g *GridLUT) CheckInvariants(gd *guard.Guard, stage string) error {
+	if !gd.Enabled() {
+		return nil
+	}
+	for a := range g.Single {
+		for i, v := range g.Single[a] {
+			if err := gd.Probability(stage, fmt.Sprintf("single[%d][%d]", a, i), v); err != nil {
+				return err
+			}
+		}
+		if err := gd.MonotoneNonDecreasing(stage, fmt.Sprintf("pof(q) axis %d", a), g.Single[a], pofMonotoneTol); err != nil {
+			return err
+		}
+	}
+	for k := range g.Pairs {
+		for i := range g.Pairs[k] {
+			for j, v := range g.Pairs[k][i] {
+				if err := gd.Probability(stage, fmt.Sprintf("pairs[%d][%d][%d]", k, i, j), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := range g.Triple {
+		for j := range g.Triple[i] {
+			for k, v := range g.Triple[i][j] {
+				if err := gd.Probability(stage, fmt.Sprintf("triple[%d][%d][%d]", i, j, k), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pofMonotoneTol absorbs Monte-Carlo noise when asserting that POF curves
+// rise with charge: adjacent grid points may dip by this much before the
+// guard calls it a violation.
+const pofMonotoneTol = 0.02
 
 // POFProvider is the interface the array level consumes: any model that
 // maps a sensitive-axis charge vector to a flip probability at a known

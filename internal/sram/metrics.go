@@ -2,6 +2,7 @@ package sram
 
 import (
 	"finser/internal/circuit"
+	"finser/internal/guard"
 	"finser/internal/obs"
 )
 
@@ -50,4 +51,11 @@ func (c *Cell) SetMetrics(m *Metrics) {
 		return
 	}
 	c.ckt.Metrics = m.Solver
+}
+
+// SetGuard attaches invariant checking to the cell's underlying circuit:
+// the transient solver trips the guard's finite-solution invariant if an
+// accepted step contains NaN or Inf node voltages. Nil detaches.
+func (c *Cell) SetGuard(g *guard.Guard) {
+	c.ckt.Guard = g
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"finser/internal/geom"
+	"finser/internal/guard"
 	"finser/internal/lut"
 	"finser/internal/obs"
 	"finser/internal/phys"
@@ -106,6 +107,26 @@ type Deposit struct {
 	EnergyEV float64 // deposited energy
 	Pairs    float64 // collected electron–hole pairs
 	PathNm   float64 // chord length through the fin
+}
+
+// CheckDeposits runs the guard's physics invariants over a track's deposits:
+// every deposited energy and collected pair count must be finite and
+// non-negative — a NaN here would propagate through charge conversion into
+// the circuit injection untouched by any sign check. Strict mode returns
+// the first violation; warn mode counts them all and returns nil.
+func CheckDeposits(g *guard.Guard, stage string, deps []Deposit) error {
+	if !g.Enabled() {
+		return nil
+	}
+	for i, d := range deps {
+		if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d energy", i), d.EnergyEV); err != nil {
+			return err
+		}
+		if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d pairs", i), d.Pairs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type hit struct {
