@@ -15,6 +15,18 @@
 // characterization, the array engine, spectra) and provides the one-call
 // orchestration (RunFlow, RunVddSweep) used by the examples, the command-
 // line tools, and the paper-figure benchmarks.
+//
+// # Performance and determinism contract
+//
+// The steady-state Monte-Carlo hot path — one particle through broad phase,
+// transport, per-cell charge accumulation, and POF reduction — allocates
+// nothing: each worker owns a reusable scratch buffer, and the circuit
+// solver reuses one workspace across Newton iterations and timesteps. The
+// per-strike reduction iterates struck cells in sorted cell order, so every
+// estimate (POF points, FIT rates, checkpoint-resumed sweeps) is
+// bit-identical for a given (seed, workers) pair — not merely statistically
+// reproducible. See README.md's "Performance" section for profiling and
+// benchmark-reproduction instructions.
 package finser
 
 import (

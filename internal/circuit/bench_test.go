@@ -24,6 +24,38 @@ func BenchmarkTransientRC(b *testing.B) {
 	}
 }
 
+// BenchmarkTransientSolve times a full transient analysis on an
+// SRAM-sized system (a 10-stage RC ladder driven by a pulse, ~11 unknowns
+// — the same MNA dimension as a 6T cell): matrix assembly, dense LU, and
+// the accepted-step bookkeeping dominate, which is exactly the per-strike
+// cost the cell characterization pays. Run with -benchmem; the solver
+// workspace reuse keeps steady-state allocs to the stored trajectory.
+func BenchmarkTransientSolve(b *testing.B) {
+	c := New()
+	pulse := PWL{Times: []float64{0, 1e-11, 2e-11, 1e-10, 1.1e-10},
+		Values: []float64{0, 0, 1, 1, 0}}
+	in := c.Node("in")
+	c.AddVSource("v1", in, Ground, pulse)
+	prev := in
+	for i := 0; i < 10; i++ {
+		n := c.Node("n" + string(rune('a'+i)))
+		c.AddResistor("r"+string(rune('a'+i)), prev, n, 1e3)
+		c.AddCapacitor("c"+string(rune('a'+i)), n, Ground, 1e-13)
+		prev = n
+	}
+	init, err := c.OperatingPoint(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := TransientSpec{TStop: 1e-9, InitStep: 1e-12, MaxStep: 2e-11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(init, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDenseLU times the linear kernel at SRAM-cell size.
 func BenchmarkDenseLU(b *testing.B) {
 	const n = 12

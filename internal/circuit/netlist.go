@@ -182,6 +182,13 @@ type Circuit struct {
 	// finite — a NaN node voltage is counted (warn) or fails the simulation
 	// with a typed error (strict). Nil costs one pointer check per step.
 	Guard *guard.Guard
+
+	// ws is the reusable solver workspace: the MNA matrix, RHS, stamper,
+	// transient ping-pong buffers, breakpoint list, and trajectory arena
+	// are allocated once and reused across Newton iterations, timesteps,
+	// and whole analyses. It is one more reason a Circuit must not run
+	// concurrent analyses (devices already carry per-step state).
+	ws workspace
 }
 
 // New returns an empty circuit with default solver settings.

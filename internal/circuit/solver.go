@@ -169,10 +169,20 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 		}
 	}
 
-	res := &TransientResult{}
-	x := append(Solution(nil), initial...)
+	ws := &c.ws
+	ws.ensure(n)
+	est := estimateSteps(spec, len(bps))
+	res := &TransientResult{
+		Times:  make([]float64, 0, est),
+		Values: make([]Solution, 0, est),
+	}
+	// The trajectory ping-pongs between the two workspace buffers: the trial
+	// solve runs on xNew, and an accepted step swaps the roles instead of
+	// copying. Stored points are arena snapshots, so neither buffer escapes.
+	x, xNew := ws.xCur, ws.xNext
+	copy(x, initial)
 	res.Times = append(res.Times, 0)
-	res.Values = append(res.Values, append(Solution(nil), x...))
+	res.Values = append(res.Values, ws.snapshot(x))
 
 	t := 0.0
 	dt := spec.InitStep
@@ -200,7 +210,7 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 			continue
 		}
 
-		xNew := append(Solution(nil), x...)
+		copy(xNew, x)
 		st, err := c.newtonSolve(xNew, x, target, step, spec.Method)
 		res.Stats.NewtonIters += st.Iterations
 		if err != nil {
@@ -238,9 +248,9 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 			}
 		}
 		t = target
-		x = xNew
+		x, xNew = xNew, x
 		res.Times = append(res.Times, t)
-		res.Values = append(res.Values, append(Solution(nil), x...))
+		res.Values = append(res.Values, ws.snapshot(x))
 		if hitBreak {
 			bpIdx++
 			dt = spec.InitStep
@@ -251,8 +261,11 @@ func (c *Circuit) Transient(initial Solution, spec TransientSpec) (*TransientRes
 	return res, nil
 }
 
+// collectBreakpoints gathers, sorts, and dedupes the waveform breakpoints
+// once per analysis, reusing the workspace buffer so repeated transients on
+// the same circuit do not re-allocate the list.
 func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
-	var bps []float64
+	bps := c.ws.bps[:0]
 	for _, d := range c.devices {
 		switch dev := d.(type) {
 		case *VSource:
@@ -262,6 +275,7 @@ func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
 		}
 	}
 	bps = append(bps, spec.ExtraBreakpoints...)
+	c.ws.bps = bps[:0]
 	sort.Float64s(bps)
 	// Deduplicate and drop points outside (0, TStop).
 	out := bps[:0]
@@ -277,6 +291,76 @@ func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
 	return out
 }
 
+// estimateSteps predicts the number of trajectory points a transient will
+// produce — the cruise steps at MaxStep, the geometric ramp-up after t=0
+// and each breakpoint, the breakpoints themselves, and the endpoints — so
+// TransientResult storage is sized once instead of growing by append-copy.
+func estimateSteps(spec TransientSpec, nBreaks int) int {
+	cruise := int(spec.TStop/spec.MaxStep) + 1
+	ramp := 1
+	for s := spec.InitStep; s < spec.MaxStep && ramp < 64; s *= spec.Growth {
+		ramp++
+	}
+	est := cruise + (nBreaks+1)*ramp + nBreaks + 2
+	if est > 1<<16 {
+		est = 1 << 16
+	}
+	return est
+}
+
+// workspace holds the solver's reusable buffers: the MNA matrix (flat
+// backing plus row views, so denseLU's pivot swaps stay cheap and zeroing
+// is one memclr), the RHS, the stamper, the transient ping-pong solution
+// buffers, the breakpoint list, and an arena slab that trajectory snapshots
+// are carved from. Everything is sized once per system dimension and reused
+// across Newton iterations, timesteps, and whole analyses.
+type workspace struct {
+	n     int
+	rows  []float64   // n×n flat backing for a
+	a     [][]float64 // row views into rows (denseLU permutes the views)
+	b     []float64
+	st    Stamper
+	xCur  Solution // transient working solution
+	xNext Solution // transient trial solution (ping-pongs with xCur)
+	bps   []float64
+	arena []float64 // slab trajectory snapshots are carved from
+}
+
+// ensure sizes the workspace for an n-unknown system. A no-op when the
+// dimension is unchanged, which is every call after the first for a given
+// netlist.
+func (ws *workspace) ensure(n int) {
+	if ws.n == n {
+		return
+	}
+	ws.n = n
+	ws.rows = make([]float64, n*n)
+	ws.a = make([][]float64, n)
+	for i := range ws.a {
+		ws.a[i] = ws.rows[i*n : (i+1)*n : (i+1)*n]
+	}
+	ws.b = make([]float64, n)
+	ws.xCur = make(Solution, n)
+	ws.xNext = make(Solution, n)
+}
+
+// snapshot copies x into a slice carved from the arena slab. Storing a
+// trajectory point costs one amortized allocation per arenaChunk points
+// instead of one per accepted step; earlier slabs stay alive through the
+// snapshots that reference them, so returned results remain valid across
+// later analyses.
+func (ws *workspace) snapshot(x Solution) Solution {
+	const arenaChunk = 64
+	n := len(x)
+	if len(ws.arena) < n {
+		ws.arena = make([]float64, arenaChunk*n)
+	}
+	s := Solution(ws.arena[:n:n])
+	ws.arena = ws.arena[n:]
+	copy(s, x)
+	return s
+}
+
 // newtonSolve iterates the damped Newton loop in place on x. xPrev is the
 // previous accepted timestep solution (used by reactive companion models);
 // dt == 0 selects DC. Convergence is on the voltage-update norm. The
@@ -285,12 +369,11 @@ func (c *Circuit) collectBreakpoints(spec TransientSpec) []float64 {
 // opaque error.
 func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrator) (SolveStats, error) {
 	n := c.unknowns()
-	a := make([][]float64, n)
-	for i := range a {
-		a[i] = make([]float64, n)
-	}
-	b := make([]float64, n)
-	st := &Stamper{a: a, b: b, xPrev: xPrev, time: t, dt: dt, method: method, nNodes: len(c.names)}
+	ws := &c.ws
+	ws.ensure(n)
+	a, b := ws.a, ws.b
+	ws.st = Stamper{a: a, b: b, xPrev: xPrev, time: t, dt: dt, method: method, nNodes: len(c.names)}
+	st := &ws.st
 
 	var stats SolveStats
 	m := c.Metrics
@@ -299,11 +382,10 @@ func (c *Circuit) newtonSolve(x, xPrev Solution, t, dt float64, method Integrato
 		if m != nil {
 			m.NewtonIters.Inc()
 		}
-		for i := range a {
-			row := a[i]
-			for j := range row {
-				row[j] = 0
-			}
+		for i := range ws.rows {
+			ws.rows[i] = 0
+		}
+		for i := range b {
 			b[i] = 0
 		}
 		st.x = x

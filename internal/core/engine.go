@@ -178,6 +178,10 @@ type Engine struct {
 	boxes    []geom.AABB
 	cellFins [][]int // fin indices per cell, for the grid-walk broad phase
 
+	// scratch pools per-worker strike state (see strikeScratch) so the
+	// steady-state Monte-Carlo path is allocation-free across calls.
+	scratch sync.Pool
+
 	yieldMu   sync.Mutex
 	yieldLUTs map[phys.Species]*lut.Table1D // DepositLUT mode, built lazily
 }
@@ -218,6 +222,8 @@ func New(cfg Config) (*Engine, error) {
 		ci := arr.CellIndex(f.Row, f.Col)
 		e.cellFins[ci] = append(e.cellFins[ci], i)
 	}
+	nCells := arr.NumCells()
+	e.scratch.New = func() any { return newStrikeScratch(nCells) }
 	return e, nil
 }
 
@@ -290,18 +296,20 @@ func (e *Engine) ensureYieldLUT(ctx context.Context, sp phys.Species) (*lut.Tabl
 
 // strike runs steps 1–5 of the paper's §5.1 for one particle. yield is the
 // pre-built mean-yield table in DepositLUT mode (resolved once per energy
-// point, outside the hot loop) and nil in transport mode. The error is
-// non-nil only under a strict guard, when a physics invariant (finite
-// deposits, POF ∈ [0,1], charge conservation) is violated.
-func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yieldTab *lut.Table1D) (strikeOutcome, error) {
+// point, outside the hot loop) and nil in transport mode. scr holds the
+// worker's reusable buffers; the steady-state path allocates nothing. The
+// error is non-nil only under a strict guard, when a physics invariant
+// (finite deposits, POF ∈ [0,1], charge conservation) is violated.
+func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yieldTab *lut.Table1D, scr *strikeScratch) (strikeOutcome, error) {
 	ray := e.sampleRay(src, sp)
 
 	// Broad phase: only trace fins of cells whose bounds the ray crosses.
-	candidate := candidateFins(e, ray)
+	scr.candidate = appendCandidateFins(e, ray, scr.candidate[:0])
+	candidate := scr.candidate
 	if len(candidate) == 0 {
 		return strikeOutcome{}, nil
 	}
-	var deps []transport.Deposit
+	deps := scr.deps[:0]
 	if e.cfg.Deposits == DepositLUT {
 		// Paper-style: every struck fin receives the mean yield at this
 		// energy, regardless of chord geometry.
@@ -312,12 +320,10 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 			}
 		}
 	} else {
-		boxes := make([]geom.AABB, len(candidate))
-		for i, fi := range candidate {
-			boxes[i] = e.boxes[fi]
-		}
-		deps = transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
+		boxes := e.candidateBoxes(scr, candidate)
+		deps = transport.TraceAppend(e.cfg.Transport, sp, energyMeV, ray, boxes, src, &scr.tr, deps)
 	}
+	scr.deps = deps
 	if len(deps) == 0 {
 		return strikeOutcome{}, nil
 	}
@@ -332,38 +338,25 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 		}
 	}
 
-	// Accumulate per-cell sensitive-axis charges.
-	fins := e.arr.Fins()
-	charges := map[int]*[sram.NumAxes]float64{}
-	deposited := 0.0 // charge landing on sensitive transistors, for the guard
-	for _, d := range deps {
-		f := fins[candidate[d.Fin]]
-		bit := e.cfg.Pattern.Bit(f.Row, f.Col)
-		axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
-		if !sensitive {
-			continue // the paper discards charge on non-sensitive transistors
-		}
-		ci := e.arr.CellIndex(f.Row, f.Col)
-		cc, ok := charges[ci]
-		if !ok {
-			cc = new([sram.NumAxes]float64)
-			charges[ci] = cc
-		}
-		q := phys.ChargeFromPairs(d.Pairs)
-		cc[axis] += q
-		deposited += q
-	}
-	if len(charges) == 0 {
+	// Accumulate per-cell sensitive-axis charges into the dense epoch-
+	// cleared accumulator, then order the struck cells by cell index: the
+	// POF product/sum reductions below are float-order-sensitive, and the
+	// sorted order makes them bit-identical across runs (the old per-strike
+	// map iterated cells in randomized order).
+	scr.beginCells()
+	deposited := e.accumulateCharges(scr, candidate, deps)
+	if len(scr.touched) == 0 {
 		return strikeOutcome{}, nil
 	}
+	scr.sortTouched()
 	if g := e.cfg.Guard; g.Enabled() {
 		// Charge conservation: what the cells are about to see must equal
 		// what transport deposited on sensitive transistors. The sums run in
 		// different orders, so allow float round-off.
 		injected := 0.0
-		for _, cc := range charges {
-			for a := range cc {
-				injected += cc[a]
+		for _, ci := range scr.touched {
+			for a := range scr.cellQ[ci] {
+				injected += scr.cellQ[ci][a]
 			}
 		}
 		if err := g.Conserved("core.strike", "injected charge", injected, deposited, 1e-9, 1e-30); err != nil {
@@ -371,30 +364,40 @@ func (e *Engine) strike(src *rng.Source, sp phys.Species, energyMeV float64, yie
 		}
 	}
 
-	// Per-cell POFs and the paper's Eqs. 4–6.
-	pofs := make([]float64, 0, len(charges))
-	for ci, cc := range charges {
-		p := e.providerFor(ci).POF(*cc)
+	// Per-cell POFs and the paper's Eqs. 4–6, in sorted cell order.
+	pofs := scr.pofs[:0]
+	for _, ci := range scr.touched {
+		p := e.providerFor(ci).POF(scr.cellQ[ci])
 		if err := e.cfg.Guard.Probability("core.strike", "cell POF", p); err != nil {
+			scr.pofs = pofs
 			return strikeOutcome{}, err
 		}
 		if p > 0 {
 			pofs = append(pofs, p)
 		}
 	}
-	return combinePOFs(pofs, len(charges)), nil
+	scr.pofs = pofs
+	return combinePOFs(pofs, len(scr.touched)), nil
 }
 
-// candidateFins returns indices of fins in cells the ray can reach. Cells
-// tile a regular XY grid, so instead of testing every cell's bounds the
-// engine walks the ray's XY projection through the grid (Amanatides–Woo
-// traversal) — O(cells crossed), which keeps large arrays fast. Fins are
-// strictly inside their cell footprint (a layout invariant), so the walk
-// is exact; TestBroadPhaseComplete cross-checks it against brute force.
+// candidateFins returns indices of fins in cells the ray can reach. It is
+// the allocating convenience form of appendCandidateFins for cold callers.
 func candidateFins(e *Engine, ray geom.Ray) []int {
+	return appendCandidateFins(e, ray, nil)
+}
+
+// appendCandidateFins appends the indices of fins in cells the ray can
+// reach to out and returns it. Cells tile a regular XY grid, so instead of
+// testing every cell's bounds the engine walks the ray's XY projection
+// through the grid (Amanatides–Woo traversal) — O(cells crossed), which
+// keeps large arrays fast. Fins are strictly inside their cell footprint
+// (a layout invariant), so the walk is exact; TestBroadPhaseComplete
+// cross-checks it against brute force. With a pre-grown out buffer the
+// walk is allocation-free.
+func appendCandidateFins(e *Engine, ray geom.Ray, out []int) []int {
 	tIn, tOut, ok := e.arr.Bounds().Intersect(ray)
 	if !ok {
-		return nil
+		return out
 	}
 	w := e.arr.Cell.WidthNm
 	h := e.arr.Cell.HeightNm
@@ -426,11 +429,7 @@ func candidateFins(e *Engine, ray geom.Ray) []int {
 	endCol := clampCol(p1.X)
 	endRow := clampRow(p1.Y)
 
-	var out []int
-	visit := func(r, c int) {
-		out = append(out, e.cellFins[e.arr.CellIndex(r, c)]...)
-	}
-	visit(row, col)
+	out = append(out, e.cellFins[e.arr.CellIndex(row, col)]...)
 	if col == endCol && row == endRow {
 		return out
 	}
@@ -480,7 +479,7 @@ func candidateFins(e *Engine, ray geom.Ray) []int {
 			}
 			tMaxY += tDeltaY
 		}
-		visit(row, col)
+		out = append(out, e.cellFins[e.arr.CellIndex(row, col)]...)
 		if col == endCol && row == endRow {
 			break
 		}
@@ -600,6 +599,8 @@ func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV 
 		go func(w int, src *rng.Source, n int) {
 			defer wg.Done()
 			defer faultinject.Recover("core.worker", &errs[w])
+			scr := e.getScratch()
+			defer e.putScratch(scr)
 			a := &accs[w]
 			var busyStart time.Time
 			if m != nil {
@@ -618,7 +619,7 @@ func (e *Engine) POFAtEnergyCtx(ctx context.Context, sp phys.Species, energyMeV 
 						break
 					}
 				}
-				o, err := e.strike(src, sp, energyMeV, yieldTab)
+				o, err := e.strike(src, sp, energyMeV, yieldTab, scr)
 				if err != nil {
 					errs[w] = err
 					break

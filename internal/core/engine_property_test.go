@@ -131,8 +131,10 @@ func TestStrikeChargeSanity(t *testing.T) {
 	ch, _, _ := fixtures(t)
 	e := engineWith(t, ch)
 	src := rng.New(123)
+	scr := e.getScratch()
+	defer e.putScratch(scr)
 	for i := 0; i < 2000; i++ {
-		o, err := e.strike(src, phys.Alpha, 1, nil)
+		o, err := e.strike(src, phys.Alpha, 1, nil, scr)
 		if err != nil {
 			t.Fatalf("strike: %v", err)
 		}

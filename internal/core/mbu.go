@@ -110,37 +110,22 @@ func (e *Engine) mbuStatsWorker(src *rng.Source, sp phys.Species, energyMeV floa
 		p        float64
 	}
 	var ups []upset
+	scr := e.getScratch()
+	defer e.putScratch(scr)
 
 	for it := 0; it < n; it++ {
 		ups = ups[:0]
 		// Re-run the strike but keep per-cell identities.
 		ray := e.sampleRay(src, sp)
-		candidate := candidateFins(e, ray)
-		if len(candidate) > 0 {
-			boxes := make([]geom.AABB, len(candidate))
-			for i, fi := range candidate {
-				boxes[i] = e.boxes[fi]
-			}
-			deps := transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
-			charges := map[int]*[sram.NumAxes]float64{}
-			fins := e.arr.Fins()
-			for _, d := range deps {
-				f := fins[candidate[d.Fin]]
-				bit := e.cfg.Pattern.Bit(f.Row, f.Col)
-				axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
-				if !sensitive {
-					continue
-				}
-				ci := e.arr.CellIndex(f.Row, f.Col)
-				cc, ok := charges[ci]
-				if !ok {
-					cc = new([sram.NumAxes]float64)
-					charges[ci] = cc
-				}
-				cc[axis] += phys.ChargeFromPairs(d.Pairs)
-			}
-			for ci, cc := range charges {
-				if p := e.providerFor(ci).POF(*cc); p > 0 {
+		scr.candidate = appendCandidateFins(e, ray, scr.candidate[:0])
+		scr.beginCells()
+		if len(scr.candidate) > 0 {
+			boxes := e.candidateBoxes(scr, scr.candidate)
+			scr.deps = transport.TraceAppend(e.cfg.Transport, sp, energyMeV, ray, boxes, src, &scr.tr, scr.deps[:0])
+			e.accumulateCharges(scr, scr.candidate, scr.deps)
+			scr.sortTouched()
+			for _, ci := range scr.touched {
+				if p := e.providerFor(ci).POF(scr.cellQ[ci]); p > 0 {
 					ups = append(ups, upset{row: ci / e.arr.Cols, col: ci % e.arr.Cols, p: p})
 				}
 			}
@@ -238,6 +223,8 @@ func (e *Engine) SampleTracks(sp phys.Species, energyMeV float64, n int, seed ui
 	out := make([]TrackInfo, 0, n)
 	fins := e.arr.Fins()
 	bounds := e.arr.Bounds()
+	scr := e.getScratch()
+	defer e.putScratch(scr)
 	for i := 0; i < n; i++ {
 		ray := e.sampleRay(src, sp)
 		info := TrackInfo{Entry: ray.Origin}
@@ -247,37 +234,27 @@ func (e *Engine) SampleTracks(sp phys.Species, energyMeV float64, n int, seed ui
 		} else {
 			info.Exit = ray.Origin
 		}
-		candidate := candidateFins(e, ray)
-		if len(candidate) > 0 {
-			boxes := make([]geom.AABB, len(candidate))
-			for k, fi := range candidate {
-				boxes[k] = e.boxes[fi]
-			}
-			deps := transport.Trace(e.cfg.Transport, sp, energyMeV, ray, boxes, src)
-			charges := map[int]*[sram.NumAxes]float64{}
-			for _, d := range deps {
+		scr.candidate = appendCandidateFins(e, ray, scr.candidate[:0])
+		scr.beginCells()
+		if candidate := scr.candidate; len(candidate) > 0 {
+			boxes := e.candidateBoxes(scr, candidate)
+			scr.deps = transport.TraceAppend(e.cfg.Transport, sp, energyMeV, ray, boxes, src, &scr.tr, scr.deps[:0])
+			for _, d := range scr.deps {
 				f := fins[candidate[d.Fin]]
-				bit := e.cfg.Pattern.Bit(f.Row, f.Col)
-				axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
-				if !sensitive {
-					continue
+				if _, sensitive := sram.SensitiveAxisForRole(f.Role, e.cfg.Pattern.Bit(f.Row, f.Col)); sensitive {
+					info.StruckFins = append(info.StruckFins, candidate[d.Fin])
 				}
-				info.StruckFins = append(info.StruckFins, candidate[d.Fin])
-				ci := e.arr.CellIndex(f.Row, f.Col)
-				cc, ok := charges[ci]
-				if !ok {
-					cc = new([sram.NumAxes]float64)
-					charges[ci] = cc
-				}
-				cc[axis] += phys.ChargeFromPairs(d.Pairs)
 			}
-			pofs := make([]float64, 0, len(charges))
-			for ci, cc := range charges {
-				if p := e.providerFor(ci).POF(*cc); p > 0 {
+			e.accumulateCharges(scr, candidate, scr.deps)
+			scr.sortTouched()
+			pofs := scr.pofs[:0]
+			for _, ci := range scr.touched {
+				if p := e.providerFor(ci).POF(scr.cellQ[ci]); p > 0 {
 					pofs = append(pofs, p)
 				}
 			}
-			info.POF = combinePOFs(pofs, len(charges)).pofTot
+			scr.pofs = pofs
+			info.POF = combinePOFs(pofs, len(scr.touched)).pofTot
 		}
 		out = append(out, info)
 	}

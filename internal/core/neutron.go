@@ -9,7 +9,6 @@ import (
 	"finser/internal/phys"
 	"finser/internal/rng"
 	"finser/internal/spectra"
-	"finser/internal/sram"
 	"finser/internal/stats"
 	"finser/internal/transport"
 )
@@ -63,9 +62,11 @@ func (e *Engine) NeutronPOFAtEnergy(rx *neutron.Reactions, energyMeV float64, it
 		wg.Add(1)
 		go func(src *rng.Source, n int) {
 			defer wg.Done()
+			scr := e.getScratch()
+			defer e.putScratch(scr)
 			var a acc
 			for i := 0; i < n; i++ {
-				o, wgt := e.neutronStrike(rx, src, energyMeV)
+				o, wgt := e.neutronStrike(rx, src, energyMeV, scr)
 				a.tot.Add(wgt * o.pofTot)
 				a.seu.Add(wgt * o.pofSEU)
 				a.mbu.Add(wgt * o.pofMBU)
@@ -117,27 +118,29 @@ func (e *Engine) substrateSlab() (geom.AABB, bool) {
 // outcome plus its probability weight. Interaction targets are the fin
 // silicon plus the substrate slab; the interaction point is sampled
 // proportionally to silicon path length, which is exact for σ·n·L ≪ 1.
-func (e *Engine) neutronStrike(rx *neutron.Reactions, src *rng.Source, energyMeV float64) (strikeOutcome, float64) {
+// scr holds the worker's reusable buffers; per-cell charges accumulate in
+// its dense epoch-cleared accumulator and are reduced in sorted cell order
+// so the weighted POFs are bit-identical across runs.
+func (e *Engine) neutronStrike(rx *neutron.Reactions, src *rng.Source, energyMeV float64, scr *strikeScratch) (strikeOutcome, float64) {
 	ray := e.sampleRay(src, phys.Proton) // cosine-law, like any atmospheric particle
 	// Chords through each candidate fin plus the substrate slab.
-	type chord struct {
-		tIn, len float64
-	}
-	var chords []chord
+	chords := scr.chords[:0]
 	totalLen := 0.0
-	for _, fi := range candidateFins(e, ray) {
+	scr.candidate = appendCandidateFins(e, ray, scr.candidate[:0])
+	for _, fi := range scr.candidate {
 		tIn, tOut, ok := e.boxes[fi].Intersect(ray)
 		if ok && tOut > tIn {
-			chords = append(chords, chord{tIn: tIn, len: tOut - tIn})
+			chords = append(chords, chordSeg{tIn: tIn, len: tOut - tIn})
 			totalLen += tOut - tIn
 		}
 	}
 	if slab, ok := e.substrateSlab(); ok {
 		if tIn, tOut, hit := slab.Intersect(ray); hit && tOut > tIn {
-			chords = append(chords, chord{tIn: tIn, len: tOut - tIn})
+			chords = append(chords, chordSeg{tIn: tIn, len: tOut - tIn})
 			totalLen += tOut - tIn
 		}
 	}
+	scr.chords = chords
 	if totalLen <= 0 {
 		return strikeOutcome{}, 0
 	}
@@ -164,45 +167,29 @@ func (e *Engine) neutronStrike(rx *neutron.Reactions, src *rng.Source, energyMeV
 	}
 
 	// Transport every charged secondary and merge the per-cell charges.
-	fins := e.arr.Fins()
-	charges := map[int]*[sram.NumAxes]float64{}
+	scr.beginCells()
 	for _, sec := range secs {
 		secRay := geom.Ray{Origin: at, Dir: sec.Dir}
-		secCand := candidateFins(e, secRay)
-		if len(secCand) == 0 {
+		scr.candidate = appendCandidateFins(e, secRay, scr.candidate[:0])
+		if len(scr.candidate) == 0 {
 			continue
 		}
-		boxes := make([]geom.AABB, len(secCand))
-		for i, fi := range secCand {
-			boxes[i] = e.boxes[fi]
-		}
-		deps := transport.Trace(e.cfg.Transport, sec.Species, sec.EnergyMeV, secRay, boxes, src)
-		for _, d := range deps {
-			f := fins[secCand[d.Fin]]
-			bit := e.cfg.Pattern.Bit(f.Row, f.Col)
-			axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
-			if !sensitive {
-				continue
-			}
-			ci := e.arr.CellIndex(f.Row, f.Col)
-			cc, ok := charges[ci]
-			if !ok {
-				cc = new([sram.NumAxes]float64)
-				charges[ci] = cc
-			}
-			cc[axis] += phys.ChargeFromPairs(d.Pairs)
-		}
+		boxes := e.candidateBoxes(scr, scr.candidate)
+		scr.deps = transport.TraceAppend(e.cfg.Transport, sec.Species, sec.EnergyMeV, secRay, boxes, src, &scr.tr, scr.deps[:0])
+		e.accumulateCharges(scr, scr.candidate, scr.deps)
 	}
-	if len(charges) == 0 {
+	if len(scr.touched) == 0 {
 		return strikeOutcome{}, weight
 	}
-	pofs := make([]float64, 0, len(charges))
-	for ci, cc := range charges {
-		if p := e.providerFor(ci).POF(*cc); p > 0 {
+	scr.sortTouched()
+	pofs := scr.pofs[:0]
+	for _, ci := range scr.touched {
+		if p := e.providerFor(ci).POF(scr.cellQ[ci]); p > 0 {
 			pofs = append(pofs, p)
 		}
 	}
-	return combinePOFs(pofs, len(charges)), weight
+	scr.pofs = pofs
+	return combinePOFs(pofs, len(scr.touched)), weight
 }
 
 // NeutronFIT integrates the weighted POFs over the neutron spectrum into

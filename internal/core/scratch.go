@@ -1,0 +1,125 @@
+package core
+
+import (
+	"finser/internal/geom"
+	"finser/internal/phys"
+	"finser/internal/sram"
+	"finser/internal/transport"
+)
+
+// strikeScratch is the per-worker reusable state of the strike hot paths.
+// Every per-particle intermediate the engine used to allocate — the
+// broad-phase candidate list, the transport box/deposit buffers, the
+// per-cell charge accumulator, the POF list — lives here instead, so the
+// steady-state Monte-Carlo loop performs zero heap allocations: millions
+// of strikes stop feeding the GC, which is what lets worker throughput
+// scale with cores instead of with collector headroom.
+//
+// A scratch must not be shared between concurrent strikes. Workers obtain
+// one from Engine.getScratch at loop start and return it with putScratch;
+// the pool keeps warm buffers across POFAtEnergy calls.
+type strikeScratch struct {
+	candidate []int               // broad-phase candidate fin indices
+	boxes     []geom.AABB         // candidate fin boxes handed to transport
+	deps      []transport.Deposit // per-track deposits
+	tr        transport.TraceScratch
+	chords    []chordSeg // neutron forced-interaction silicon chords
+
+	// Dense per-cell charge accumulator, replacing the per-strike
+	// map[int]*[NumAxes]float64: cellQ[ci] holds the sensitive-axis
+	// charges of cell ci and is valid iff cellEpoch[ci] == epoch, so
+	// "clearing" the accumulator between strikes is a single epoch bump.
+	// touched lists the valid cell indices in first-touch order; callers
+	// sort it before any float-order-sensitive reduction.
+	cellQ     [][sram.NumAxes]float64
+	cellEpoch []uint64
+	epoch     uint64
+	touched   []int
+
+	pofs []float64 // per-cell POFs fed to combinePOFs
+}
+
+// chordSeg is one silicon chord of a neutron track (entry parameter and
+// length along the ray).
+type chordSeg struct {
+	tIn, len float64
+}
+
+// newStrikeScratch sizes the dense accumulator for an nCells array.
+func newStrikeScratch(nCells int) *strikeScratch {
+	return &strikeScratch{
+		cellQ:     make([][sram.NumAxes]float64, nCells),
+		cellEpoch: make([]uint64, nCells),
+	}
+}
+
+// getScratch hands out a warm per-worker scratch from the engine pool.
+func (e *Engine) getScratch() *strikeScratch {
+	return e.scratch.Get().(*strikeScratch)
+}
+
+// putScratch returns a scratch to the pool for the next worker.
+func (e *Engine) putScratch(s *strikeScratch) { e.scratch.Put(s) }
+
+// beginCells resets the per-cell charge accumulator for a new particle.
+func (s *strikeScratch) beginCells() {
+	s.epoch++
+	s.touched = s.touched[:0]
+}
+
+// addCharge accumulates charge q on the cell's sensitive axis, registering
+// the cell as touched on first contact this strike.
+func (s *strikeScratch) addCharge(ci int, axis sram.Axis, q float64) {
+	if s.cellEpoch[ci] != s.epoch {
+		s.cellEpoch[ci] = s.epoch
+		s.cellQ[ci] = [sram.NumAxes]float64{}
+		s.touched = append(s.touched, ci)
+	}
+	s.cellQ[ci][axis] += q
+}
+
+// sortTouched orders the struck cells by dense cell index. Struck-cell
+// multiplicity is tiny (one track crosses a handful of cells), so an
+// allocation-free insertion sort beats any library sort here. The sorted
+// order is what makes the float-sensitive combinePOFs reduction
+// bit-identical across runs — the old map iteration visited cells in
+// randomized order.
+func (s *strikeScratch) sortTouched() {
+	t := s.touched
+	for i := 1; i < len(t); i++ {
+		for j := i; j > 0 && t[j] < t[j-1]; j-- {
+			t[j], t[j-1] = t[j-1], t[j]
+		}
+	}
+}
+
+// accumulateCharges converts one track's deposits into per-cell
+// sensitive-axis charges in scr and returns the total charge landed on
+// sensitive transistors (the conservation-guard reference). candidate maps
+// Deposit.Fin back to global fin indices, exactly as passed to transport.
+func (e *Engine) accumulateCharges(scr *strikeScratch, candidate []int, deps []transport.Deposit) float64 {
+	fins := e.arr.Fins()
+	deposited := 0.0
+	for _, d := range deps {
+		f := fins[candidate[d.Fin]]
+		bit := e.cfg.Pattern.Bit(f.Row, f.Col)
+		axis, sensitive := sram.SensitiveAxisForRole(f.Role, bit)
+		if !sensitive {
+			continue // the paper discards charge on non-sensitive transistors
+		}
+		q := phys.ChargeFromPairs(d.Pairs)
+		scr.addCharge(e.arr.CellIndex(f.Row, f.Col), axis, q)
+		deposited += q
+	}
+	return deposited
+}
+
+// candidateBoxes fills scr.boxes with the AABBs of the candidate fins.
+func (e *Engine) candidateBoxes(scr *strikeScratch, candidate []int) []geom.AABB {
+	boxes := scr.boxes[:0]
+	for _, fi := range candidate {
+		boxes = append(boxes, e.boxes[fi])
+	}
+	scr.boxes = boxes
+	return boxes
+}

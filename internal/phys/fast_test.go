@@ -1,0 +1,64 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastStoppingMatchesWrapped bounds the dense-resampling error of
+// FastStopping against the model it wraps, across every species and the
+// whole energy range the transport loop can reach. The grid is ~0.002 wide
+// in ln E, so linear interpolation of the smooth stopping curves must stay
+// within 1e-4 relative (the effective-charge knee of the heavy recoils is
+// the worst case).
+func TestFastStoppingMatchesWrapped(t *testing.T) {
+	tab := NewTabulatedStopping()
+	fast := NewFastStopping(tab)
+	for sp := Proton; sp <= SiliconIon; sp++ {
+		for lnE := math.Log(2e-4); lnE < math.Log(5e3); lnE += 0.0371 {
+			e := math.Exp(lnE)
+			want := tab.ElectronicStopping(sp, e)
+			got := fast.ElectronicStopping(sp, e)
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("%v at %g MeV: fast %g, wrapped 0", sp, e, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-want) / want; rel > 1e-4 {
+				t.Errorf("%v at %g MeV: fast %g vs wrapped %g (rel %g)", sp, e, got, want, rel)
+			}
+		}
+	}
+}
+
+// TestFastStoppingEdges: non-positive energies return 0, and energies
+// outside the sampled window clamp exactly like the wrapped tables do.
+func TestFastStoppingEdges(t *testing.T) {
+	tab := NewTabulatedStopping()
+	fast := NewFastStopping(tab)
+	if fast.ElectronicStopping(Proton, 0) != 0 || fast.ElectronicStopping(Proton, -1) != 0 {
+		t.Error("non-positive energy must return 0")
+	}
+	for _, e := range []float64{1e-6, 1e-5} {
+		if got, want := fast.ElectronicStopping(Alpha, e), tab.ElectronicStopping(Alpha, e); got != want {
+			t.Errorf("below-window clamp at %g: %g vs %g", e, got, want)
+		}
+	}
+	if got, want := fast.ElectronicStopping(Proton, 1e5), tab.ElectronicStopping(Proton, 1e5); got != want {
+		t.Errorf("above-window clamp: %g vs %g", got, want)
+	}
+}
+
+// TestFastStoppingZeroAlloc pins the hot-path evaluation at zero
+// allocations.
+func TestFastStoppingZeroAlloc(t *testing.T) {
+	fast := NewFastStopping(NewTabulatedStopping())
+	allocs := testing.AllocsPerRun(500, func() {
+		_ = fast.ElectronicStopping(Alpha, 1.7)
+		_ = fast.ElectronicStopping(Proton, 42)
+	})
+	if allocs != 0 {
+		t.Errorf("FastStopping.ElectronicStopping allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -149,13 +149,17 @@ func gridCoord(grid []float64, q float64) (int, float64) {
 // how many axes carry charge. Values below the grid floor count as zero
 // charge; values above the ceiling clamp (POF there is saturated anyway).
 func (g *GridLUT) POF(q [NumAxes]float64) float64 {
-	var active []Axis
+	// Fixed-size active set: POF sits on the Monte-Carlo hot path, so the
+	// axis dispatch must not allocate.
+	var active [NumAxes]Axis
+	na := 0
 	for a := AxisI1; a < NumAxes; a++ {
 		if q[a] > 0 {
-			active = append(active, a)
+			active[na] = a
+			na++
 		}
 	}
-	switch len(active) {
+	switch na {
 	case 0:
 		return 0
 	case 1:

@@ -13,7 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"finser/internal/geom"
 	"finser/internal/guard"
@@ -74,12 +74,22 @@ func NewMetrics(r *obs.Registry) *Metrics {
 	}
 }
 
+// defaultStopping returns the shared default stopping model: the tabulated
+// NIST-style anchors behind a dense log-uniform resampling, so the per-
+// sub-step evaluation in the hot loop costs one logarithm instead of three
+// plus an exponential. Both layers are immutable, so one instance serves
+// every Config.
+var defaultStopping = sync.OnceValue(func() phys.StoppingModel {
+	return phys.NewFastStopping(phys.NewTabulatedStopping())
+})
+
 // DefaultConfig returns the configuration used throughout the flow:
-// tabulated stopping, 2 nm steps, straggling and Fano fluctuation on,
-// half-silicon inter-fin losses, unity collection efficiency.
+// tabulated stopping (dense-resampled for evaluation speed), 2 nm steps,
+// straggling and Fano fluctuation on, half-silicon inter-fin losses, unity
+// collection efficiency.
 func DefaultConfig() Config {
 	return Config{
-		Stopping:              phys.NewTabulatedStopping(),
+		Stopping:              defaultStopping(),
 		StepNm:                2,
 		Straggling:            true,
 		FanoFluctuation:       true,
@@ -90,7 +100,7 @@ func DefaultConfig() Config {
 
 func (c Config) withDefaults() Config {
 	if c.Stopping == nil {
-		c.Stopping = phys.NewTabulatedStopping()
+		c.Stopping = defaultStopping()
 	}
 	if c.StepNm <= 0 {
 		c.StepNm = 2
@@ -113,20 +123,33 @@ type Deposit struct {
 // every deposited energy and collected pair count must be finite and
 // non-negative — a NaN here would propagate through charge conversion into
 // the circuit injection untouched by any sign check. Strict mode returns
-// the first violation; warn mode counts them all and returns nil.
+// the first violation; warn mode counts them all and returns nil. The happy
+// path is allocation-free: violation names are only formatted for values
+// that already failed the numeric predicate, so an enabled guard costs two
+// float compares per deposit, not a fmt.Sprintf.
 func CheckDeposits(g *guard.Guard, stage string, deps []Deposit) error {
 	if !g.Enabled() {
 		return nil
 	}
 	for i, d := range deps {
-		if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d energy", i), d.EnergyEV); err != nil {
-			return err
+		if badNonNegFinite(d.EnergyEV) {
+			if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d energy", i), d.EnergyEV); err != nil {
+				return err
+			}
 		}
-		if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d pairs", i), d.Pairs); err != nil {
-			return err
+		if badNonNegFinite(d.Pairs) {
+			if err := g.NonNegativeFinite(stage, fmt.Sprintf("deposit %d pairs", i), d.Pairs); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// badNonNegFinite mirrors guard.NonNegativeFinite's predicate so callers
+// can defer name formatting until a value actually violates it.
+func badNonNegFinite(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
 }
 
 type hit struct {
@@ -134,37 +157,72 @@ type hit struct {
 	tIn, tOut float64
 }
 
+// TraceScratch holds the intermediate buffers one Trace call needs. A
+// caller that traces millions of tracks keeps one TraceScratch per worker
+// and passes it to TraceAppend, making the steady-state path
+// allocation-free. The zero value is ready to use; a TraceScratch must not
+// be shared between concurrent calls.
+type TraceScratch struct {
+	hits []hit
+}
+
 // Trace propagates one particle along ray (Dir must be unit length) through
 // the fins and returns the per-fin deposits in traversal order. The
 // particle's kinetic energy is depleted as it travels; a track that ranges
 // out stops depositing. src supplies the fluctuation randomness and may be
 // nil when both fluctuation options are off.
+//
+// Trace allocates its result and scratch per call; hot loops should use
+// TraceAppend with a reused TraceScratch and output buffer instead.
 func Trace(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []geom.AABB, src *rng.Source) []Deposit {
+	var scr TraceScratch
+	out := TraceAppend(cfg, sp, energyMeV, ray, fins, src, &scr, nil)
+	if len(out) == 0 {
+		return nil // preserve Trace's historical nil-on-no-deposit contract
+	}
+	return out
+}
+
+// TraceAppend is Trace's allocation-free form: intermediate state lives in
+// scr (reused across calls) and deposits are appended to out, which is
+// returned. With a warm scratch and a pre-grown out buffer the call does
+// not allocate. Deposit.Fin indexes fins exactly as in Trace; out's
+// existing elements are preserved, so callers batching several tracks into
+// one buffer must record the length before each call.
+func TraceAppend(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []geom.AABB, src *rng.Source, scr *TraceScratch, out []Deposit) []Deposit {
 	cfg = cfg.withDefaults()
 	if energyMeV <= 0 {
-		return nil
+		return out
 	}
 	if (cfg.Straggling || cfg.FanoFluctuation) && src == nil {
 		panic("transport: fluctuations enabled but no rng source")
 	}
 
-	hits := make([]hit, 0, 8)
+	hits := scr.hits[:0]
 	for i, f := range fins {
 		tIn, tOut, ok := f.Intersect(ray)
 		if ok && tOut > tIn {
 			hits = append(hits, hit{fin: i, tIn: tIn, tOut: tOut})
 		}
 	}
+	scr.hits = hits[:0] // keep the (possibly regrown) backing array
 	if m := cfg.Metrics; m != nil {
 		m.RaysTraced.Inc()
 		m.FinIntersections.Add(int64(len(hits)))
 	}
 	if len(hits) == 0 {
-		return nil
+		return out
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].tIn < hits[j].tIn })
+	// Insertion sort by entry parameter: a handful of hits per track, and
+	// unlike sort.Slice it neither allocates a closure nor reorders equal
+	// keys, keeping traversal order deterministic.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j].tIn < hits[j-1].tIn; j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
 
-	var out []Deposit
+	nBefore := len(out)
 	energyEV := energyMeV * 1e6
 	cursor := 0.0
 	for _, h := range hits {
@@ -193,7 +251,7 @@ func Trace(cfg Config, sp phys.Species, energyMeV float64, ray geom.Ray, fins []
 		}
 	}
 	if m := cfg.Metrics; m != nil {
-		m.SegmentsDeposited.Add(int64(len(out)))
+		m.SegmentsDeposited.Add(int64(len(out) - nBefore))
 	}
 	return out
 }
@@ -225,8 +283,13 @@ func depositInSegment(cfg Config, sp phys.Species, energyEV *float64, pathNm flo
 	for remaining > 0 && *energyEV > 0 {
 		step := math.Min(cfg.StepNm, remaining)
 		eMeV := *energyEV * 1e-6
-		sTotal := phys.CombinedStopping(cfg.Stopping, sp, eMeV)
-		sIon := phys.IonizingStopping(cfg.Stopping, sp, eMeV)
+		// One electronic and one nuclear evaluation per sub-step; the
+		// combined and ionizing rates share them (the table look-up is the
+		// hot path's dominant cost).
+		se := cfg.Stopping.ElectronicStopping(sp, eMeV)
+		sn := phys.ZBLNuclearStopping(sp, eMeV)
+		sTotal := se + sn
+		sIon := se + phys.IonizationPartition*sn
 		if sTotal <= 0 {
 			break
 		}
