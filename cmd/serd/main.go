@@ -16,10 +16,22 @@
 //	                        503 + Retry-After when the queue is full
 //	GET  /jobs              list all jobs in admission order
 //	GET  /jobs/{id}         poll one job (state, retries, result)
+//	GET  /jobs/{id}/events  live SSE telemetry: state transitions, throttled
+//	                        progress, per-bin FIT results, guard violations;
+//	                        reconnect with Last-Event-ID (or ?from=N) to
+//	                        replay only missed events
 //	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz           liveness (always 200 while the process serves)
+//	GET  /healthz           liveness + uptime + build identity
 //	GET  /readyz            readiness (503 once draining)
 //	GET  /metrics           JSON snapshot of serving + flow metrics
+//	                        (latency histograms include p50/p95/p99);
+//	                        ?format=prometheus renders the same registry in
+//	                        Prometheus text exposition format
+//
+// Every job-scoped log line is structured (JSON by default, -log-format
+// text for key=value) and stamped with the job ID and configuration
+// fingerprint, the keys that join a log line to the job's metrics and its
+// event stream.
 //
 // Shutdown: SIGTERM or SIGINT starts a graceful drain — admission stops
 // (/readyz flips to 503), queued and running jobs are canceled, completed
@@ -35,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +56,7 @@ import (
 
 	"finser"
 	"finser/internal/breaker"
+	"finser/internal/obs"
 	"finser/internal/retry"
 	"finser/internal/server"
 )
@@ -64,12 +78,30 @@ func main() {
 		ckDir        = flag.String("checkpoint-dir", "", "directory for per-job checkpoints; identical resubmissions resume bit-identically")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for workers to unwind")
 		guardStr     = flag.String("guard", "warn", "physics-invariant enforcement for every job: off|warn|strict (strict fails the job on the first violation)")
+		logFormat    = flag.String("log-format", "json", "structured job-log format: json|text")
+		logLevel     = flag.String("log-level", "info", "minimum structured-log level: debug|info|warn|error")
+		heartbeat    = flag.Duration("heartbeat", server.DefaultHeartbeat, "SSE keep-alive comment interval on /jobs/{id}/events")
+		eventBuffer  = flag.Int("event-buffer", 0, "per-job event ring capacity (the SSE replay window); 0 selects the default")
 	)
 	flag.Parse()
 
 	guardMode, err := finser.ParseGuardMode(*guardStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	level, ok := obs.ParseLogLevel(*logLevel)
+	if !ok {
+		log.Fatalf("unknown -log-level %q (want debug|info|warn|error)", *logLevel)
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = obs.NewJSONLogger(os.Stderr, level)
+	case "text":
+		logger = obs.NewTextLogger(os.Stderr, level)
+	default:
+		log.Fatalf("unknown -log-format %q (want json|text)", *logFormat)
 	}
 
 	if *ckDir != "" {
@@ -88,6 +120,9 @@ func main() {
 		Metrics:       reg,
 		Guard:         guardMode,
 		GuardLog:      log.Printf,
+		Heartbeat:     *heartbeat,
+		EventBuffer:   *eventBuffer,
+		Logger:        logger,
 		Retry: retry.Policy{
 			MaxAttempts: *maxAttempts,
 			BaseDelay:   *baseDelay,

@@ -1,0 +1,421 @@
+// Command serload is an open-loop load generator for serd: it submits SER
+// jobs at a fixed arrival rate regardless of how fast the server finishes
+// them (the honest way to measure a queueing system — closed-loop clients
+// hide queueing delay by waiting), consumes each accepted job's SSE event
+// stream to observe its terminal state the moment it happens, and writes a
+// JSON report of client-observed admission-to-done latency percentiles,
+// shed rate, and event throughput, alongside the server's own
+// admission-to-done histogram scraped from /metrics.
+//
+// Usage:
+//
+//	serload -addr http://localhost:8080 -rate 5 -duration 30s \
+//	        -mix tiny=3,small=1 -out report.json
+//
+// The job mix is a weighted set of preset workload classes:
+//
+//	tiny   samples=8,  iters_per_bin=300,  alpha_bins=3, proton_bins=4
+//	small  samples=30, iters_per_bin=2000, alpha_bins=6, proton_bins=8
+//
+// Every submission gets a distinct seed, so checkpoint fingerprints never
+// collide and each job is real work.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finser/internal/obs"
+)
+
+// jobClass is one preset workload in the mix.
+type jobClass struct {
+	name   string
+	weight int
+	body   map[string]any
+}
+
+var presets = map[string]map[string]any{
+	"tiny": {
+		"vdd": 0.7, "samples": 8, "iters_per_bin": 300,
+		"alpha_bins": 3, "proton_bins": 4, "workers": 1,
+	},
+	"small": {
+		"vdd": 0.7, "samples": 30, "iters_per_bin": 2000,
+		"alpha_bins": 6, "proton_bins": 8, "workers": 1,
+	},
+}
+
+// parseMix parses "tiny=3,small=1" into weighted classes.
+func parseMix(s string) ([]jobClass, error) {
+	var out []jobClass
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, "=")
+		w := 1
+		if found {
+			n, err := strconv.Atoi(wstr)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+			w = n
+		}
+		preset, ok := presets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown job class %q (want tiny|small)", name)
+		}
+		out = append(out, jobClass{name: name, weight: w, body: preset})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}
+
+// pickClass draws one class by weight.
+func pickClass(rng *rand.Rand, classes []jobClass) jobClass {
+	total := 0
+	for _, c := range classes {
+		total += c.weight
+	}
+	n := rng.Intn(total)
+	for _, c := range classes {
+		if n < c.weight {
+			return c
+		}
+		n -= c.weight
+	}
+	return classes[len(classes)-1]
+}
+
+// outcome is one accepted job's observed end.
+type outcome struct {
+	class   string
+	state   string
+	latency float64 // admission (POST sent) to terminal event, seconds
+	events  int64
+}
+
+// latencySummary is the report's percentile block (nearest-rank on the
+// client-observed samples).
+type latencySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+}
+
+func summarize(lats []float64) latencySummary {
+	if len(lats) == 0 {
+		return latencySummary{}
+	}
+	sort.Float64s(lats)
+	sum := 0.0
+	for _, v := range lats {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	return latencySummary{
+		Count: len(lats),
+		Mean:  sum / float64(len(lats)),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   lats[len(lats)-1],
+	}
+}
+
+// report is the JSON artifact serload writes.
+type report struct {
+	GeneratedBy     string  `json:"generated_by"`
+	Addr            string  `json:"addr"`
+	RatePerSec      float64 `json:"rate_per_sec"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Mix             string  `json:"mix"`
+	WallSeconds     float64 `json:"wall_seconds"`
+
+	Submitted int64   `json:"submitted"`
+	Accepted  int64   `json:"accepted"`
+	Shed      int64   `json:"shed"`
+	Errors    int64   `json:"errors"`
+	ShedRate  float64 `json:"shed_rate"`
+
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+
+	EventsConsumed int64   `json:"events_consumed"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+
+	Latency  latencySummary            `json:"latency"`
+	PerClass map[string]latencySummary `json:"per_class"`
+
+	// ServerAdmissionToDone is serd's own admission-to-done histogram
+	// (bucket counts plus p50/p95/p99) scraped from /metrics at the end of
+	// the run — the server-side view to compare the client-observed
+	// percentiles against.
+	ServerAdmissionToDone *obs.HistogramSnapshot `json:"server_admission_to_done,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serload: ")
+
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "serd base URL")
+		rate     = flag.Float64("rate", 2, "open-loop arrival rate, jobs/second")
+		duration = flag.Duration("duration", 15*time.Second, "how long to keep submitting")
+		mixStr   = flag.String("mix", "tiny=3,small=1", "weighted job mix, e.g. tiny=3,small=1")
+		outPath  = flag.String("out", "", "report file (default stdout)")
+		seed     = flag.Int64("seed", 1, "mix-choice and job-seed RNG seed")
+		jobWait  = flag.Duration("job-wait", 5*time.Minute, "how long to wait for in-flight jobs after the last submission")
+	)
+	flag.Parse()
+
+	classes, err := parseMix(*mixStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rate <= 0 {
+		log.Fatal("-rate must be positive")
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		submitted, accepted, shed, errs, eventsTotal atomic.Int64
+		mu                                           sync.Mutex
+		outcomes                                     []outcome
+		wg                                           sync.WaitGroup
+	)
+
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / *rate)
+	ticker := time.NewTicker(interval)
+	deadline := time.Now().Add(*duration)
+	jobSeed := uint64(*seed)
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		cls := pickClass(rng, classes)
+		jobSeed++
+		submitted.Add(1)
+		wg.Add(1)
+		go func(cls jobClass, seed uint64) {
+			defer wg.Done()
+			o, status := runOne(*addr, cls, seed)
+			switch status {
+			case http.StatusAccepted:
+				accepted.Add(1)
+				eventsTotal.Add(o.events)
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			case http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}(cls, jobSeed)
+	}
+	ticker.Stop()
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(*jobWait):
+		log.Printf("gave up waiting for in-flight jobs after %s", *jobWait)
+	}
+	wall := time.Since(start).Seconds()
+
+	rep := report{
+		GeneratedBy:     "serload",
+		Addr:            *addr,
+		RatePerSec:      *rate,
+		DurationSeconds: duration.Seconds(),
+		Mix:             *mixStr,
+		WallSeconds:     wall,
+		Submitted:       submitted.Load(),
+		Accepted:        accepted.Load(),
+		Shed:            shed.Load(),
+		Errors:          errs.Load(),
+		EventsConsumed:  eventsTotal.Load(),
+		PerClass:        map[string]latencySummary{},
+	}
+	if rep.Submitted > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Submitted)
+	}
+	if wall > 0 {
+		rep.EventsPerSec = float64(rep.EventsConsumed) / wall
+	}
+	var all []float64
+	perClass := map[string][]float64{}
+	for _, o := range outcomes {
+		switch o.state {
+		case "done":
+			rep.Done++
+			all = append(all, o.latency)
+			perClass[o.class] = append(perClass[o.class], o.latency)
+		case "failed":
+			rep.Failed++
+		case "canceled":
+			rep.Canceled++
+		}
+	}
+	rep.Latency = summarize(all)
+	for name, lats := range perClass {
+		rep.PerClass[name] = summarize(lats)
+	}
+	rep.ServerAdmissionToDone = scrapeServerHistogram(*addr)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report written to %s (accepted=%d shed=%d p50=%.3gs p99=%.3gs)",
+		*outPath, rep.Accepted, rep.Shed, rep.Latency.P50, rep.Latency.P99)
+}
+
+// runOne submits one job and, when accepted, follows its SSE stream to the
+// terminal state. The returned status is the HTTP submit status (0 on a
+// transport error).
+func runOne(addr string, cls jobClass, seed uint64) (outcome, int) {
+	body := make(map[string]any, len(cls.body)+1)
+	for k, v := range cls.body {
+		body[k] = v
+	}
+	body["seed"] = seed
+	payload, _ := json.Marshal(body)
+
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return outcome{class: cls.name}, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return outcome{class: cls.name}, resp.StatusCode
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
+		return outcome{class: cls.name}, 0
+	}
+
+	o := outcome{class: cls.name}
+	state, events := followEvents(addr, st.ID)
+	o.events = events
+	if state == "" {
+		// Stream ended without a terminal event (e.g. server restarted);
+		// fall back to one status poll.
+		state = pollState(addr, st.ID)
+	}
+	o.state = state
+	o.latency = time.Since(t0).Seconds()
+	return o, http.StatusAccepted
+}
+
+// followEvents consumes the job's SSE stream until a terminal state event
+// or stream end, returning the terminal state ("" if none seen) and how
+// many events arrived.
+func followEvents(addr, id string) (string, int64) {
+	resp, err := http.Get(addr + "/jobs/" + id + "/events")
+	if err != nil {
+		return "", 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", 0
+	}
+	var events int64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		events++
+		var e struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+			continue
+		}
+		if e.Type == "state" {
+			switch e.State {
+			case "done", "failed", "canceled":
+				return e.State, events
+			}
+		}
+	}
+	return "", events
+}
+
+// pollState fetches the job's current state once.
+func pollState(addr, id string) string {
+	resp, err := http.Get(addr + "/jobs/" + id)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var st struct {
+		State string `json:"state"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return ""
+	}
+	return st.State
+}
+
+// scrapeServerHistogram pulls serd's admission-to-done histogram from the
+// JSON /metrics snapshot (nil when unavailable).
+func scrapeServerHistogram(addr string) *obs.HistogramSnapshot {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return nil
+	}
+	h, ok := snap.Histograms["serd/latency/admission_to_done_seconds"]
+	if !ok {
+		return nil
+	}
+	return &h
+}

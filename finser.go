@@ -158,6 +158,18 @@ type (
 	// naming the invariant, the stage, and the offending value. Match with
 	// errors.As.
 	InvariantError = guard.InvariantError
+	// BinEvent reports one completed FIT energy bin to FlowConfig.BinDone
+	// (and EngineConfig.OnBinDone): the 1-based bin index, the bin's POF
+	// point, and the Eq. 8 partial FIT sum so far.
+	BinEvent = core.BinEvent
+	// GuardViolation is the live violation payload FlowConfig.GuardEvent
+	// receives for every recorded guard violation, in warn and strict modes
+	// alike.
+	GuardViolation = guard.Violation
+	// BinDoneFunc consumes per-bin completion events.
+	BinDoneFunc = func(BinEvent)
+	// GuardEventFunc consumes live guard-violation events.
+	GuardEventFunc = func(GuardViolation)
 )
 
 // Guard enforcement modes.
@@ -411,11 +423,28 @@ type FlowConfig struct {
 	// GuardLog, when non-nil, receives warn-mode violation logs (throttled
 	// to one line per invariant and stage). log.Printf fits.
 	GuardLog GuardLogf
+	// BinDone, when non-nil, receives one event per completed FIT energy bin
+	// (per species, including bins restored from a checkpoint) with the
+	// bin's POF point and the FIT accumulated so far — the hook a live
+	// telemetry stream taps. It fires on the integration goroutine; keep it
+	// non-blocking. Like Obs and Checkpoint, it never changes the numbers
+	// and is excluded from checkpoint fingerprints.
+	BinDone BinDoneFunc
+	// GuardEvent, when non-nil, receives every guard violation (warn and
+	// strict modes) as it is recorded, in addition to the Obs counters and
+	// GuardLog lines. Same non-blocking and fingerprint-exclusion rules as
+	// BinDone.
+	GuardEvent GuardEventFunc
 }
 
-// newGuard builds the flow's guard from the config (nil when GuardOff).
+// newGuard builds the flow's guard from the config (nil when GuardOff),
+// wiring the live violation hook when one is configured.
 func (c FlowConfig) newGuard() *guard.Guard {
-	return guard.New(c.Guard, c.Obs, c.GuardLog)
+	g := guard.New(c.Guard, c.Obs, c.GuardLog)
+	if c.GuardEvent != nil {
+		g.SetNotify(c.GuardEvent)
+	}
+	return g
 }
 
 // ConfigError reports an invalid FlowConfig field — a caller mistake that
@@ -596,6 +625,7 @@ func buildFlowEngine(cfg FlowConfig, char *Characterization, flow *obs.Span) (*E
 		Workers:   cfg.Workers,
 		Metrics:   core.NewMetrics(cfg.Obs),
 		Progress:  cfg.Progress,
+		OnBinDone: cfg.BinDone,
 		Faults:    cfg.Faults,
 		Guard:     cfg.newGuard(),
 	}

@@ -145,6 +145,11 @@ type Config struct {
 	// Progress, when non-nil, receives throttled done/total/ETA reports
 	// while FIT integrates over energy bins.
 	Progress obs.ProgressFunc
+	// OnBinDone, when non-nil, is invoked after every completed FIT energy
+	// bin — freshly computed or restored from a checkpoint — with the bin's
+	// POF point and the FIT accumulated so far. It fires once per bin (not
+	// per particle), on the integration goroutine; keep it non-blocking.
+	OnBinDone func(BinEvent)
 	// Checkpoint, when non-nil, persists each completed FIT energy bin
 	// (POF point + RNG seed schedule) so an interrupted integration can
 	// resume bit-identically from the last completed bin. Nil disables
@@ -752,6 +757,20 @@ type CheckpointStore interface {
 	Save(stage string, v any) error
 }
 
+// BinEvent reports one completed FIT energy bin to Config.OnBinDone. Bin is
+// 1-based; FITSoFar is the Eq. 8 partial sum over the bins completed so far
+// (total FIT, same area and flux weighting as the final result), so a live
+// consumer can watch the integral converge.
+type BinEvent struct {
+	Stage     string
+	Bin, Bins int
+	Point     POFPoint
+	FITSoFar  float64
+	// Resumed marks bins restored from a checkpoint rather than computed in
+	// this call.
+	Resumed bool
+}
+
 // fitState is the per-stage checkpoint payload: the full pre-drawn per-bin
 // seed schedule plus the POF points of the bins completed so far, in bin
 // order. The seed schedule doubles as a consistency check on resume — a
@@ -831,6 +850,20 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	defer tracker.Finish()
 	tracker.Add(int64(len(state.Points) * itersPerBin)) // bins restored from checkpoint
 
+	lx, ly := e.arr.DimsCm()
+	area := lx * ly
+	emitBin := e.cfg.OnBinDone
+	fitSoFar := 0.0
+	if emitBin != nil {
+		// Replay restored bins through the callback so a consumer joining a
+		// resumed run still sees the full bin sequence and a correct partial
+		// sum.
+		for i, pt := range state.Points {
+			fitSoFar += pt.Tot * bins[i].IntFlux * area * fitScale
+			emitBin(BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar, Resumed: true})
+		}
+	}
+
 	for i := len(state.Points); i < len(bins); i++ {
 		if err := ctx.Err(); err != nil {
 			return FITResult{}, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
@@ -844,6 +877,10 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 		}
 		tracker.Add(int64(itersPerBin))
 		state.Points = append(state.Points, pt)
+		if emitBin != nil {
+			fitSoFar += pt.Tot * b.IntFlux * area * fitScale
+			emitBin(BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar})
+		}
 		if e.cfg.Checkpoint != nil {
 			if err := e.cfg.Checkpoint.Save(ckStage, state); err != nil {
 				return FITResult{}, fmt.Errorf("core: %s bin %d: checkpoint: %w", ckStage, i, err)
@@ -853,8 +890,6 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 
 	// Accumulate from the ordered points — the same float operations in
 	// the same order whether the points were computed here or restored.
-	lx, ly := e.arr.DimsCm()
-	area := lx * ly
 	res.Points = state.Points
 	for i, b := range bins {
 		pt := res.Points[i]

@@ -1,0 +1,43 @@
+package events
+
+import "testing"
+
+// BenchmarkEventPublish is the CI alloc guard for the telemetry hot path:
+// publishing into a stream nobody watches must stay allocation-free, so
+// wiring per-bin events through the Monte-Carlo pipeline cannot regress the
+// zero-alloc budgets PR 5 pinned (bench-smoke enforces 0 allocs/op).
+func BenchmarkEventPublish(b *testing.B) {
+	s := NewStream(256, nil)
+	e := Event{
+		Type: TypeBin, Job: "job-1", Stage: "fit/alpha",
+		Bin: 7, Bins: 12, EnergyMeV: 1.5, POF: 0.25, POFStdErr: 0.01,
+		FITSoFar: 1.2e-3, TimeMs: 1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Publish(e)
+	}
+}
+
+// BenchmarkEventPublishOneSubscriber measures the fan-out cost with a live,
+// keeping-up subscriber — the SSE steady state.
+func BenchmarkEventPublishOneSubscriber(b *testing.B) {
+	s := NewStream(256, nil)
+	sub := s.Subscribe(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C() {
+		}
+	}()
+	e := Event{Type: TypeProgress, Job: "job-1", Stage: "fit/proton", Done: 1, Total: 100, TimeMs: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Publish(e)
+	}
+	b.StopTimer()
+	s.Close()
+	<-done
+}

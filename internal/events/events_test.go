@@ -1,0 +1,255 @@
+package events
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drains up to n events or until the channel closes.
+func collect(t *testing.T, sub *Subscription, n int) []Event {
+	t.Helper()
+	var out []Event
+	timeout := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case e, ok := <-sub.C():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		case <-timeout:
+			t.Fatalf("timed out after %d/%d events", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	s := NewStream(16, nil)
+	sub := s.Subscribe(0)
+	defer sub.Cancel()
+	for i := 0; i < 10; i++ {
+		if seq := s.Publish(Event{Type: TypeProgress, Done: int64(i)}); seq != int64(i+1) {
+			t.Fatalf("publish %d assigned seq %d", i, seq)
+		}
+	}
+	got := collect(t, sub, 10)
+	for i, e := range got {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Done != int64(i) {
+			t.Fatalf("event %d payload Done = %d, want %d", i, e.Done, i)
+		}
+		if e.TimeMs == 0 {
+			t.Fatalf("event %d missing publish timestamp", i)
+		}
+	}
+}
+
+// TestReplayFromSequence: a reconnecting subscriber passing its last seen
+// sequence receives exactly the events it missed, in order.
+func TestReplayFromSequence(t *testing.T) {
+	s := NewStream(32, nil)
+	for i := 0; i < 10; i++ {
+		s.Publish(Event{Type: TypeBin, Bin: i + 1})
+	}
+	sub := s.Subscribe(4)
+	defer sub.Cancel()
+	if sub.Missed() != 0 {
+		t.Fatalf("missed = %d, want 0 (all retained)", sub.Missed())
+	}
+	got := collect(t, sub, 6)
+	for i, e := range got {
+		if want := int64(5 + i); e.Seq != want {
+			t.Fatalf("replayed event %d has seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	// Live events continue seamlessly after the replayed tail.
+	s.Publish(Event{Type: TypeBin, Bin: 11})
+	live := collect(t, sub, 1)
+	if live[0].Seq != 11 {
+		t.Fatalf("live event seq = %d, want 11", live[0].Seq)
+	}
+}
+
+// TestReplayGapCounted: resuming from before the ring's retention window
+// reports the lost events instead of silently skipping them.
+func TestReplayGapCounted(t *testing.T) {
+	s := NewStream(8, nil)
+	for i := 0; i < 100; i++ {
+		s.Publish(Event{Type: TypeProgress})
+	}
+	sub := s.Subscribe(0)
+	defer sub.Cancel()
+	if sub.Missed() != 92 {
+		t.Fatalf("missed = %d, want 92 (100 published, 8 retained)", sub.Missed())
+	}
+	got := collect(t, sub, 8)
+	if got[0].Seq != 93 || got[7].Seq != 100 {
+		t.Fatalf("replayed range [%d, %d], want [93, 100]", got[0].Seq, got[7].Seq)
+	}
+}
+
+// TestStalledSubscriberDropped: a subscriber that stops consuming is
+// killed — its channel closes, the drop is counted, and the publisher
+// never blocks (the test would deadlock if it did).
+func TestStalledSubscriberDropped(t *testing.T) {
+	drops := 0
+	s := NewStream(4, func() { drops++ })
+	sub := s.Subscribe(0)  // never read
+	live := s.Subscribe(0) // drained synchronously after every publish
+	drainLive := func() {
+		for {
+			select {
+			case <-live.C():
+			default:
+				return
+			}
+		}
+	}
+	// Buffer is ring+64; exceed it while never reading sub. live is kept
+	// empty in lockstep so only the stalled subscriber can overflow.
+	for i := 0; i < 4+64+8; i++ {
+		s.Publish(Event{Type: TypeProgress})
+		drainLive()
+	}
+	select {
+	case _, ok := <-sub.C():
+		_ = ok // drain one replayed event; eventually the channel closes
+	default:
+	}
+	// The channel must be closed: drain everything and observe the close.
+	closed := false
+	timeout := time.After(5 * time.Second)
+	for !closed {
+		select {
+		case _, ok := <-sub.C():
+			if !ok {
+				closed = true
+			}
+		case <-timeout:
+			t.Fatal("stalled subscriber's channel never closed")
+		}
+	}
+	if s.DroppedSubscribers() != 1 {
+		t.Fatalf("dropped subscribers = %d, want 1", s.DroppedSubscribers())
+	}
+	if drops != 1 {
+		t.Fatalf("drop hook fired %d times, want 1", drops)
+	}
+	if s.Subscribers() != 1 {
+		t.Fatalf("live subscribers = %d, want 1 (the healthy one)", s.Subscribers())
+	}
+	s.Close()
+}
+
+// TestCloseTerminatesSubscribers: closing the stream ends every live
+// subscription after the already-published events.
+func TestCloseTerminatesSubscribers(t *testing.T) {
+	s := NewStream(16, nil)
+	sub := s.Subscribe(0)
+	s.Publish(Event{Type: TypeState, State: "done"})
+	s.Close()
+	got := collect(t, sub, 2) // returns early on close
+	if len(got) != 1 || got[0].State != "done" {
+		t.Fatalf("got %d events (%v), want the single terminal event", len(got), got)
+	}
+	if seq := s.Publish(Event{Type: TypeState}); seq != 0 {
+		t.Fatalf("publish after close assigned seq %d, want 0", seq)
+	}
+}
+
+// TestSubscribeAfterClose: a late subscriber still replays the retained
+// history and sees an immediately-closed channel — the reconnect-after-done
+// path.
+func TestSubscribeAfterClose(t *testing.T) {
+	s := NewStream(16, nil)
+	s.Publish(Event{Type: TypeBin, Bin: 1})
+	s.Publish(Event{Type: TypeState, State: "done"})
+	s.Close()
+	sub := s.Subscribe(0)
+	got := collect(t, sub, 3) // close bounds it at 2
+	if len(got) != 2 {
+		t.Fatalf("late subscriber got %d events, want 2", len(got))
+	}
+	if got[1].State != "done" {
+		t.Fatalf("last replayed event = %+v, want the terminal state", got[1])
+	}
+	sub.Cancel() // must be safe on an already-closed subscription
+}
+
+// TestPublishZeroSubscribersNoAlloc pins the unwatched-job cost: with no
+// subscribers, Publish is a mutex plus a struct copy — no heap allocation.
+func TestPublishZeroSubscribersNoAlloc(t *testing.T) {
+	s := NewStream(64, nil)
+	e := Event{Type: TypeBin, Stage: "fit/alpha", Bin: 3, Bins: 12, EnergyMeV: 1.5, POF: 0.25, FITSoFar: 1e-3, TimeMs: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Publish(e)
+	})
+	if allocs != 0 {
+		t.Errorf("Publish with zero subscribers allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentPublishSubscribe exercises the lock discipline under the
+// race detector: concurrent publishers, subscribers joining and canceling,
+// and a close racing all of it.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	s := NewStream(32, func() {})
+	var pubs, subs sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func(p int) {
+			defer pubs.Done()
+			for i := 0; i < 500; i++ {
+				s.Publish(Event{Type: TypeProgress, Done: int64(i)})
+			}
+		}(p)
+	}
+	for c := 0; c < 8; c++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			sub := s.Subscribe(0)
+			n := 0
+			// Ranges until the stream closes or the bus drops us for
+			// stalling; Cancel after 100 exercises mid-stream teardown.
+			for range sub.C() {
+				n++
+				if n > 100 {
+					sub.Cancel()
+					return
+				}
+			}
+		}()
+	}
+	pubs.Wait()
+	s.Close() // unblocks any subscriber still waiting on a quiet channel
+	subs.Wait()
+	// Sequence IDs must be dense: every publish got a unique slot.
+	if got := s.LastSeq(); got != 2000 {
+		t.Fatalf("last seq = %d, want 2000", got)
+	}
+}
+
+// TestMonotonicSeqAcrossWrap: the ring wraps but sequence IDs keep
+// increasing — the ring index is derived, never reset.
+func TestMonotonicSeqAcrossWrap(t *testing.T) {
+	s := NewStream(4, nil)
+	var last int64
+	for i := 0; i < 20; i++ {
+		seq := s.Publish(Event{Type: TypeProgress})
+		if seq <= last {
+			t.Fatalf("seq %d not monotonic after %d", seq, last)
+		}
+		last = seq
+	}
+	sub := s.Subscribe(0)
+	defer sub.Cancel()
+	got := collect(t, sub, 4)
+	if got[0].Seq != 17 {
+		t.Fatalf("oldest retained seq = %d, want 17", got[0].Seq)
+	}
+}

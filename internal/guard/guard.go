@@ -102,6 +102,33 @@ type Guard struct {
 
 	mu     sync.Mutex
 	logged map[string]struct{} // (invariant|stage) pairs already logged
+	notify func(Violation)     // optional live violation hook (SetNotify)
+}
+
+// Violation is the notification payload delivered to a SetNotify hook: the
+// same facts an *InvariantError carries, but emitted on every violation in
+// every armed mode — warn-mode violations are otherwise only visible as
+// registry counters, which a live event stream cannot attribute to a
+// specific invariant occurrence.
+type Violation struct {
+	Invariant string
+	Stage     string
+	Value     float64
+	Detail    string
+}
+
+// SetNotify installs fn as the violation hook; every recorded violation
+// (warn and strict alike) invokes it synchronously after counting and
+// logging. fn runs on the violating goroutine — keep it non-blocking.
+// Passing nil uninstalls the hook; no-op on a nil receiver (an Off guard
+// records no violations).
+func (g *Guard) SetNotify(fn func(Violation)) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.notify = fn
+	g.mu.Unlock()
 }
 
 // New builds a Guard. A nil registry disables counting (checks still
@@ -130,6 +157,12 @@ func (g *Guard) Mode() Mode {
 func (g *Guard) violate(invariant, stage string, value float64, detail string) error {
 	g.reg.Counter("guard/violations").Inc()
 	g.reg.Counter("guard/violations/" + invariant).Inc()
+	g.mu.Lock()
+	notify := g.notify
+	g.mu.Unlock()
+	if notify != nil {
+		notify(Violation{Invariant: invariant, Stage: stage, Value: value, Detail: detail})
+	}
 	if g.logf != nil {
 		key := invariant + "|" + stage
 		g.mu.Lock()

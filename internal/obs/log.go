@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Structured logging wiring: serving layers emit one JSON (or logfmt-style
+// text) object per line through a *slog.Logger, and stamp every job-scoped
+// line with the job ID and configuration fingerprint via JobLogger — the
+// correlation keys that join a log line to the job's /metrics series and
+// its /jobs/{id}/events stream.
+
+// NewJSONLogger returns a logger writing one JSON object per line to w at
+// the given minimum level — the machine-readable mode a log pipeline
+// ingests.
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewTextLogger returns a logger writing key=value lines to w at the given
+// minimum level — the human-readable default for a terminal.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// JobLogger derives a job-scoped logger carrying the job ID and (when
+// known) the configuration fingerprint on every line. Nil-safe: a nil base
+// returns nil, and callers treat a nil *slog.Logger as logging disabled.
+func JobLogger(base *slog.Logger, jobID, fingerprint string) *slog.Logger {
+	if base == nil {
+		return nil
+	}
+	attrs := []any{slog.String("job", jobID)}
+	if fingerprint != "" {
+		attrs = append(attrs, slog.String("fingerprint", fingerprint))
+	}
+	return base.With(attrs...)
+}
+
+// ParseLogLevel maps the -log-level flag spellings onto slog levels.
+func ParseLogLevel(s string) (slog.Level, bool) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, true
+	case "", "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	default:
+		return slog.LevelInfo, false
+	}
+}

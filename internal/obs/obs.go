@@ -139,6 +139,65 @@ func (h *Histogram) Observe(v float64) {
 	atomicMaxFloat(&h.maxBits, v)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation within the bucket containing the
+// target rank — the same estimator Prometheus' histogram_quantile applies
+// server-side, so the JSON snapshot and a scraped dashboard agree. The
+// first bucket interpolates up from the observed minimum, ranks landing in
+// the overflow bucket return the observed maximum, and the result is
+// clamped to [min, max] so a coarse bucket layout can never report a value
+// outside the data. Returns NaN when empty (or on a nil receiver); callers
+// serializing to JSON must skip it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	min := floatFromBits(&h.minBits)
+	max := floatFromBits(&h.maxBits)
+	rank := q * float64(n)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 || float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			return max // overflow bucket: the best bound we have is the max
+		}
+		lo := min
+		if i > 0 {
+			lo = h.bounds[i-1]
+			if lo < min {
+				lo = min
+			}
+		}
+		hi := h.bounds[i]
+		v := lo
+		if c > 0 {
+			v = lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+		return v
+	}
+	return max
+}
+
 // Count returns the number of observations (0 on a nil receiver).
 func (h *Histogram) Count() int64 {
 	if h == nil {

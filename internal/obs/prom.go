@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4) so a standard scraper can consume the same
+// registry the JSON snapshot serves:
+//
+//   - counters → `# TYPE <ns>_<name> counter` with the running total,
+//   - gauges → `# TYPE <ns>_<name> gauge`,
+//   - histograms → cumulative `_bucket{le="..."}` series ending in
+//     `le="+Inf"`, plus `_sum` and `_count`,
+//   - spans → `<ns>_span_<path>_seconds` summaries (`_sum`/`_count`), the
+//     aggregate wall time per pipeline stage.
+//
+// Metric names are sanitized to the Prometheus charset (runs of other
+// characters become "_"), prefixed with namespace, and emitted in sorted
+// order so scrapes diff cleanly. The raw registry name is preserved in the
+// HELP line. Every series carries exactly one HELP and one TYPE line
+// (duplicate sanitized names are skipped after the first — LintExposition
+// treats duplicates as corruption). Nil-safe: a nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	ew := &errWriter{w: w}
+	seen := map[string]bool{}
+	emit := func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		return true
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(namespace, name)
+		if !emit(m) {
+			continue
+		}
+		fmt.Fprintf(ew, "# HELP %s Counter %q.\n# TYPE %s counter\n%s %d\n", m, name, m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(namespace, name)
+		if !emit(m) {
+			continue
+		}
+		fmt.Fprintf(ew, "# HELP %s Gauge %q.\n# TYPE %s gauge\n%s %s\n", m, name, m, m, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		m := promName(namespace, name)
+		if !emit(m) {
+			continue
+		}
+		h := s.Histograms[name]
+		fmt.Fprintf(ew, "# HELP %s Histogram %q.\n# TYPE %s histogram\n", m, name, m)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(ew, "%s_bucket{le=%q} %d\n", m, promFloat(b.Le), cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", m, cum)
+		fmt.Fprintf(ew, "%s_sum %s\n%s_count %d\n", m, promFloat(h.Sum), m, h.Count)
+	}
+	for _, sp := range s.Spans {
+		m := promName(namespace, "span/"+sp.Path+"/seconds")
+		if !emit(m) {
+			continue
+		}
+		fmt.Fprintf(ew, "# HELP %s Span %q wall time.\n# TYPE %s summary\n", m, sp.Path, m)
+		fmt.Fprintf(ew, "%s_sum %s\n%s_count %d\n", m, promFloat(sp.TotalSeconds), m, sp.Count)
+	}
+	return ew.err
+}
+
+// promName sanitizes a registry name into the Prometheus metric charset
+// [a-zA-Z0-9_:], collapsing runs of other characters into one underscore,
+// and prefixes the namespace.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	b.Grow(len(namespace) + 1 + len(name))
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	lastUnderscore := true // swallow a leading separator run
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == ':':
+			b.WriteRune(c)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// promFloat renders a float in the exposition format (shortest round-trip
+// representation; Prometheus accepts Go's 'g' forms).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// errWriter latches the first write error so the render loop needs no
+// per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

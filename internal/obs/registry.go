@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -92,11 +93,18 @@ type BucketCount struct {
 
 // HistogramSnapshot is the serializable state of one histogram.
 type HistogramSnapshot struct {
-	Count    int64         `json:"count"`
-	Sum      float64       `json:"sum"`
-	Mean     float64       `json:"mean"`
-	Min      float64       `json:"min,omitempty"`
-	Max      float64       `json:"max,omitempty"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates
+	// (Histogram.Quantile); omitted while the histogram is empty. They make
+	// latency percentiles readable straight off the JSON snapshot instead
+	// of requiring a Prometheus server to compute them.
+	P50      float64       `json:"p50,omitempty"`
+	P95      float64       `json:"p95,omitempty"`
+	P99      float64       `json:"p99,omitempty"`
 	Buckets  []BucketCount `json:"buckets"`
 	Overflow int64         `json:"overflow"`
 }
@@ -185,6 +193,16 @@ func snapshotHistogram(h *Histogram) HistogramSnapshot {
 	if hs.Count > 0 {
 		hs.Min = h.minValue()
 		hs.Max = h.maxValue()
+		// Quantile returns NaN only when empty, which Count > 0 excludes —
+		// but guard anyway: a NaN here would fail the whole JSON encode.
+		for _, p := range []struct {
+			q   float64
+			dst *float64
+		}{{0.50, &hs.P50}, {0.95, &hs.P95}, {0.99, &hs.P99}} {
+			if v := h.Quantile(p.q); !math.IsNaN(v) {
+				*p.dst = v
+			}
+		}
 	}
 	return hs
 }

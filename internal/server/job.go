@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"finser"
+	"finser/internal/events"
 )
 
 // JobState is the lifecycle state of a submitted SER job.
@@ -124,10 +126,14 @@ type JobStatus struct {
 	Retries int64 `json:"retries,omitempty"`
 	// ResumedStages is how many checkpointed FIT stages the job restored
 	// at start (a resubmitted drained job reports > 0).
-	ResumedStages int        `json:"resumed_stages,omitempty"`
-	Error         string     `json:"error,omitempty"`
-	Result        *JobResult `json:"result,omitempty"`
-	Request       JobRequest `json:"request"`
+	ResumedStages int `json:"resumed_stages,omitempty"`
+	// Fingerprint is the result-determining configuration digest
+	// (finser.FlowFingerprint) — the key correlating this job with its
+	// checkpoint file, its log lines, and its event stream.
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Request     JobRequest `json:"request"`
 }
 
 // job is the server-internal record. The owning Server's mutex guards all
@@ -146,6 +152,21 @@ type job struct {
 	ctx       context.Context // the job's base context; cancel() and drains cut it
 	retries   atomic.Int64
 	resumed   int
+
+	// fingerprint is the FlowFingerprint digest, computed at admission.
+	fingerprint string
+	// events is the job's live telemetry stream, created at admission and
+	// closed at finalization so SSE clients see a clean end-of-stream.
+	events *events.Stream
+	// log is the job-scoped structured logger (nil when logging is off).
+	log *slog.Logger
+}
+
+// logInfo emits one structured line on the job's logger; no-op without one.
+func (j *job) logInfo(msg string, args ...any) {
+	if j.log != nil {
+		j.log.Info(msg, args...)
+	}
 }
 
 // status renders the job under the server lock.
@@ -156,6 +177,7 @@ func (j *job) status() JobStatus {
 		SubmittedAt:   j.submitted,
 		Retries:       j.retries.Load(),
 		ResumedStages: j.resumed,
+		Fingerprint:   j.fingerprint,
 		Error:         j.err,
 		Result:        j.result,
 		Request:       j.req,

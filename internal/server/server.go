@@ -19,9 +19,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,7 @@ import (
 
 	"finser"
 	"finser/internal/breaker"
+	"finser/internal/events"
 	"finser/internal/faultinject"
 	"finser/internal/obs"
 	"finser/internal/retry"
@@ -51,6 +54,10 @@ const (
 	DefaultWorkers    = 2
 	DefaultJobTimeout = time.Hour
 	DefaultRetryAfter = 5 * time.Second
+	// DefaultHeartbeat is the SSE keep-alive comment interval — frequent
+	// enough to defeat common idle-connection timeouts, rare enough to cost
+	// nothing.
+	DefaultHeartbeat = 15 * time.Second
 )
 
 // speciesStages are the per-species workload classes, each behind its own
@@ -99,8 +106,22 @@ type Config struct {
 	Guard finser.GuardMode
 	// GuardLog, when non-nil, receives warn-mode guard violation logs.
 	GuardLog finser.GuardLogf
+	// Heartbeat is the SSE keep-alive comment interval on /jobs/{id}/events.
+	// Zero selects DefaultHeartbeat.
+	Heartbeat time.Duration
+	// EventBuffer is each job's event-ring capacity — the replay window an
+	// SSE reconnect (Last-Event-ID) can recover losslessly. Zero selects
+	// events.DefaultCapacity.
+	EventBuffer int
+	// Logger, when non-nil, receives one structured line per job lifecycle
+	// step, each stamped with the job ID and configuration fingerprint
+	// (obs.NewJSONLogger / NewTextLogger fit). Nil disables logging.
+	Logger *slog.Logger
 	// Runner overrides the production staged pipeline — tests inject
-	// blocking or instant runners. Nil selects the real flow.
+	// blocking or instant runners. Nil selects the real flow. Injected
+	// runners receive the same telemetry-instrumented FlowConfig (BinDone,
+	// GuardEvent, Progress wired to the job's event stream) the real
+	// pipeline gets.
 	Runner func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error)
 }
 
@@ -114,6 +135,8 @@ type Server struct {
 	mux      *http.ServeMux
 	wg       sync.WaitGroup
 	running  atomic.Int64
+	started  time.Time
+	build    buildInfo
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -138,6 +161,9 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
 	baseCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -147,6 +173,8 @@ func New(cfg Config) *Server {
 		jobs:     map[string]*job{},
 		baseCtx:  baseCtx,
 		stop:     stop,
+		started:  time.Now(),
+		build:    readBuildInfo(),
 	}
 	for _, st := range speciesStages {
 		s.breakers[st.name] = s.newBreaker(st.name)
@@ -156,6 +184,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -240,11 +269,38 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		s.reg.Counter("serd/jobs/rejected_full").Inc()
 		return JobStatus{}, ErrQueueFull
 	}
+	// The fingerprint keys the job's checkpoint file and correlates its log
+	// lines, metrics, and event stream; cfg already validated, so this
+	// cannot fail — but a failure only costs the correlation key.
+	if fp, ferr := finser.FlowFingerprint(cfg, []float64{cfg.Vdd}); ferr == nil {
+		j.fingerprint = fp
+	}
+	j.events = events.NewStream(s.cfg.EventBuffer, func() {
+		s.reg.Counter("serd/events/dropped_subscribers").Inc()
+	})
+	j.log = obs.JobLogger(s.cfg.Logger, j.id, j.fingerprint)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.reg.Counter("serd/jobs/submitted").Inc()
 	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
+	s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
+	j.logInfo("job queued", "vdd", cfg.Vdd, "queue_depth", len(s.queue))
 	return j.status(), nil
+}
+
+// publish stamps the job ID onto e and publishes it to the job's stream,
+// counting accepted events on the registry.
+func (s *Server) publish(j *job, e events.Event) {
+	e.Job = j.id
+	if j.events.Publish(e) != 0 {
+		s.reg.Counter("serd/events/published").Inc()
+	}
+}
+
+// latency returns one of the serving-layer latency histograms, with
+// exponential buckets from 1 ms to ~9 min.
+func (s *Server) latency(name string) *obs.Histogram {
+	return s.reg.Histogram("serd/latency/"+name+"_seconds", obs.ExpBuckets(0.001, 2, 20))
 }
 
 // Status returns one job's state.
@@ -345,8 +401,13 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
 	s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(1)))
+	queueWait := j.started.Sub(j.submitted)
 	s.mu.Unlock()
 	defer func() { s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(-1))) }()
+	s.latency("queue_wait").Observe(queueWait.Seconds())
+	s.publish(j, events.Event{Type: events.TypeState, State: string(StateRunning)})
+	j.logInfo("job running", "queue_wait_seconds", queueWait.Seconds())
+	s.instrumentFlow(j)
 
 	ctx := j.ctx
 	timeout := s.cfg.JobTimeout
@@ -386,6 +447,36 @@ func (s *Server) runJob(j *job) {
 	}
 }
 
+// instrumentFlow wires the job's flow callbacks to its event stream, so
+// per-bin FIT results, guard violations, and throttled progress reach
+// streaming clients as they happen. Both the production pipeline and
+// injected test runners run under the instrumented config.
+func (s *Server) instrumentFlow(j *job) {
+	j.cfg.BinDone = func(be finser.BinEvent) {
+		s.publish(j, events.Event{
+			Type: events.TypeBin, Stage: be.Stage, Bin: be.Bin, Bins: be.Bins,
+			EnergyMeV: be.Point.EnergyMeV, POF: be.Point.Tot, POFStdErr: be.Point.TotStdErr,
+			FITSoFar: be.FITSoFar, Resumed: be.Resumed,
+		})
+	}
+	j.cfg.GuardEvent = func(v finser.GuardViolation) {
+		s.publish(j, events.Event{
+			Type: events.TypeViolation, Stage: v.Stage,
+			Invariant: v.Invariant, Detail: v.Detail, Value: v.Value,
+		})
+	}
+	prev := j.cfg.Progress
+	j.cfg.Progress = func(p finser.Progress) {
+		s.publish(j, events.Event{
+			Type: events.TypeProgress, Stage: p.Stage,
+			Done: p.Done, Total: p.Total, Rate: p.Rate,
+		})
+		if prev != nil {
+			prev(p)
+		}
+	}
+}
+
 // finalizeLocked moves a job to a terminal state; callers hold s.mu.
 func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
 	if j.state.Terminal() {
@@ -397,11 +488,22 @@ func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
 	switch state {
 	case StateDone:
 		s.reg.Counter("serd/jobs/completed").Inc()
+		if !j.started.IsZero() {
+			s.latency("run").Observe(j.finished.Sub(j.started).Seconds())
+		}
+		s.latency("admission_to_done").Observe(j.finished.Sub(j.submitted).Seconds())
 	case StateFailed:
 		s.reg.Counter("serd/jobs/failed").Inc()
 	case StateCanceled:
 		s.reg.Counter("serd/jobs/canceled").Inc()
 	}
+	// Terminal event, then close: subscribers drain the final transition
+	// and see a clean end-of-stream.
+	s.publish(j, events.Event{Type: events.TypeState, State: string(state), Error: msg})
+	j.events.Close()
+	j.logInfo("job "+string(state),
+		"total_seconds", j.finished.Sub(j.submitted).Seconds(),
+		"retries", j.retries.Load(), "error", msg)
 }
 
 // runPipeline is the production staged flow: characterize, then each
@@ -603,9 +705,57 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// buildInfo is the build identity /healthz reports — what exactly is
+// running, resolved once at startup from the binary's embedded metadata.
+type buildInfo struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	// Revision/BuildTime/Modified come from the VCS stamp (present when the
+	// binary was built inside a git checkout).
+	Revision  string `json:"vcs_revision,omitempty"`
+	BuildTime string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return buildInfo{}
+	}
+	out := buildInfo{
+		GoVersion: bi.GoVersion,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out.Revision = kv.Value
+		case "vcs.time":
+			out.BuildTime = kv.Value
+		case "vcs.modified":
+			out.Modified = kv.Value == "true"
+		}
+	}
+	return out
+}
+
+// healthBody is the /healthz response: liveness plus build identity and
+// uptime, so one probe answers "is it up" and "what exactly is running".
+type healthBody struct {
+	Status        string    `json:"status"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Build         buildInfo `json:"build"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// Liveness: the process serves; draining or saturated still counts.
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         s.build,
+	})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -617,6 +767,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w, "finser") // nil-safe: empty body without a registry
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if s.reg == nil {
 		w.Write([]byte("{}\n"))

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"finser"
+	"finser/internal/events"
+	"finser/internal/obs"
+)
+
+// sseEvent is one decoded SSE frame.
+type sseEvent struct {
+	id    int64
+	event string
+	data  events.Event
+}
+
+// readSSE decodes SSE frames from r until the stream ends or max frames
+// arrive. Heartbeat comments are skipped.
+func readSSE(t *testing.T, r *http.Response, max int) []sseEvent {
+	t.Helper()
+	sc := bufio.NewScanner(r.Body)
+	var out []sseEvent
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				out = append(out, cur)
+				if len(out) >= max {
+					return out
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id, _ = strconv.ParseInt(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &cur.data); err != nil {
+				t.Fatalf("bad event payload %q: %v", line, err)
+			}
+		}
+	}
+	return out
+}
+
+// getEvents opens the SSE feed with an optional Last-Event-ID.
+func getEvents(t *testing.T, ts *httptest.Server, id, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	return resp
+}
+
+// binRunner returns a Runner publishing n bin events through the
+// instrumented FlowConfig — the same callback path the real pipeline uses.
+func binRunner(n int) func(context.Context, finser.FlowConfig) (*JobResult, error) {
+	return func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error) {
+		for i := 1; i <= n; i++ {
+			cfg.BinDone(finser.BinEvent{
+				Stage: "fit/alpha", Bin: i, Bins: n,
+				Point:    finser.POFPoint{EnergyMeV: float64(i), Tot: 0.1 * float64(i)},
+				FITSoFar: float64(i),
+			})
+		}
+		return &JobResult{Vdd: cfg.Vdd}, nil
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSSELifecycle: the full event sequence of a successful job — queued,
+// running, every bin in order, done — arrives over SSE with dense sequence
+// IDs and the job ID stamped on every event, and the stream then ends. The
+// job's log lines carry the job ID and fingerprint correlation keys.
+func TestSSELifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf syncBuffer
+	s := New(Config{
+		Metrics: reg,
+		Logger:  obs.NewJSONLogger(&logBuf, 0),
+		Runner:  binRunner(3),
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJob(t, ts, `{"vdd": 0.7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	if st.Fingerprint == "" {
+		t.Fatal("submitted job has no fingerprint")
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	// A late subscriber still replays the whole retained history.
+	er := getEvents(t, ts, st.ID, "")
+	defer er.Body.Close()
+	if ct := er.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := readSSE(t, er, 100) // stream EOF bounds it
+	want := []struct {
+		typ   string
+		state string
+		bin   int
+	}{
+		{"state", "queued", 0}, {"state", "running", 0},
+		{"bin", "", 1}, {"bin", "", 2}, {"bin", "", 3},
+		{"state", "done", 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		e := got[i]
+		if e.event != w.typ || e.data.State != w.state || e.data.Bin != w.bin {
+			t.Fatalf("event %d = %s %+v, want %+v", i, e.event, e.data, w)
+		}
+		if e.id != int64(i+1) || e.data.Seq != int64(i+1) {
+			t.Fatalf("event %d has id %d / seq %d, want %d", i, e.id, e.data.Seq, i+1)
+		}
+		if e.data.Job != st.ID {
+			t.Fatalf("event %d job = %q, want %q", i, e.data.Job, st.ID)
+		}
+	}
+	if got[3].data.FITSoFar != 2 {
+		t.Fatalf("bin 2 FITSoFar = %g, want 2", got[3].data.FITSoFar)
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"job":"`+st.ID+`"`) {
+		t.Fatalf("log lines missing job ID %s:\n%s", st.ID, logs)
+	}
+	if !strings.Contains(logs, `"fingerprint":"`+st.Fingerprint+`"`) {
+		t.Fatalf("log lines missing fingerprint %s:\n%s", st.Fingerprint, logs)
+	}
+}
+
+// TestSSELastEventIDResume: a reconnect presenting Last-Event-ID receives
+// exactly the events after it — never a duplicate of what it already saw.
+func TestSSELastEventIDResume(t *testing.T) {
+	s := New(Config{Metrics: obs.NewRegistry(), Runner: binRunner(5)})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postJob(t, ts, `{"vdd": 0.7}`)
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	waitState(t, ts, st.ID, StateDone)
+
+	// Full sequence: 1 queued, 2 running, 3..7 bins, 8 done. Resume from 4.
+	er := getEvents(t, ts, st.ID, "4")
+	defer er.Body.Close()
+	got := readSSE(t, er, 100)
+	if len(got) != 4 {
+		t.Fatalf("resumed stream has %d events, want 4: %+v", len(got), got)
+	}
+	for i, e := range got {
+		if e.id != int64(5+i) {
+			t.Fatalf("resumed event %d has seq %d, want %d", i, e.id, 5+i)
+		}
+	}
+	if last := got[3]; last.event != "state" || last.data.State != "done" {
+		t.Fatalf("last resumed event = %s %+v, want state done", last.event, last.data)
+	}
+}
+
+// TestSSEReplayGap: resuming from before the ring's retention window yields
+// a gap event reporting the lost count, then the retained tail.
+func TestSSEReplayGap(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Metrics: reg, EventBuffer: 4, Runner: binRunner(20)})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postJob(t, ts, `{"vdd": 0.7}`)
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	waitState(t, ts, st.ID, StateDone)
+
+	// 23 events total, ring of 4 retains 20..23; from=0 lost 19.
+	er := getEvents(t, ts, st.ID, "")
+	defer er.Body.Close()
+	got := readSSE(t, er, 100)
+	if len(got) != 5 {
+		t.Fatalf("got %d events, want gap + 4 retained: %+v", len(got), got)
+	}
+	if got[0].event != "gap" || got[0].data.Missed != 19 {
+		t.Fatalf("first event = %s %+v, want gap with 19 missed", got[0].event, got[0].data)
+	}
+	if got[1].id != 20 {
+		t.Fatalf("first retained seq = %d, want 20", got[1].id)
+	}
+	if v := reg.Counter("serd/events/replay_missed").Value(); v != 19 {
+		t.Fatalf("replay_missed counter = %d, want 19", v)
+	}
+}
+
+// TestSSECloseOnCancel: a live stream terminates promptly when the job is
+// canceled, ending on the canceled state transition.
+func TestSSECloseOnCancel(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	s := New(Config{Metrics: obs.NewRegistry(), Runner: blockingRunner(started, release)})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postJob(t, ts, `{"vdd": 0.7}`)
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	<-started
+
+	er := getEvents(t, ts, st.ID, "")
+	defer er.Body.Close()
+
+	frames := make(chan []sseEvent, 1)
+	go func() { frames <- readSSE(t, er, 100) }()
+
+	resp, err := http.Post(ts.URL+"/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	select {
+	case got := <-frames:
+		if len(got) == 0 {
+			t.Fatal("stream ended with no events")
+		}
+		last := got[len(got)-1]
+		if last.event != "state" || last.data.State != "canceled" {
+			t.Fatalf("last event = %s %+v, want state canceled", last.event, last.data)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not terminate after cancel")
+	}
+}
+
+// TestStalledSSESubscriberDoesNotBlockJob: a subscriber that never consumes
+// is killed by the bus — the job still completes, and the drop is counted
+// on the registry.
+func TestStalledSSESubscriberDoesNotBlockJob(t *testing.T) {
+	reg := obs.NewRegistry()
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	s := New(Config{
+		Metrics:     reg,
+		EventBuffer: 4, // subscriber buffer = 4 + 64
+		Runner: func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error) {
+			started <- "run"
+			<-release
+			for i := 1; i <= 100; i++ { // overflow the stalled subscriber
+				cfg.BinDone(finser.BinEvent{Stage: "fit/alpha", Bin: i, Bins: 100})
+			}
+			return &JobResult{Vdd: cfg.Vdd}, nil
+		},
+	})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postJob(t, ts, `{"vdd": 0.7}`)
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	<-started
+
+	// Subscribe directly and never read — the pathological client.
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	s.mu.Unlock()
+	sub := j.events.Subscribe(0)
+	close(release)
+
+	// The job must finish despite the dead subscriber.
+	waitState(t, ts, st.ID, StateDone)
+	if v := reg.Counter("serd/events/dropped_subscribers").Value(); v != 1 {
+		t.Fatalf("dropped_subscribers = %d, want 1", v)
+	}
+	// And the subscriber's channel must have been closed mid-stream.
+	closed := false
+	for !closed {
+		select {
+		case _, open := <-sub.C():
+			if !open {
+				closed = true
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("stalled subscriber channel never closed")
+		}
+	}
+}
+
+// TestHealthzBuildInfo: /healthz reports liveness plus uptime and the
+// binary's build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("uptime = %g", h.UptimeSeconds)
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatal("healthz build info missing go version")
+	}
+}
+
+// TestMetricsPrometheusFormat: /metrics?format=prometheus renders the live
+// registry in valid exposition format (LintExposition-clean) including the
+// serving-layer latency histograms, while plain /metrics stays JSON.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Metrics: reg, Runner: binRunner(2)})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body := postJob(t, ts, `{"vdd": 0.7}`)
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if err := obs.LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE finser_serd_jobs_completed counter",
+		"# TYPE finser_serd_latency_admission_to_done_seconds histogram",
+		"# TYPE finser_serd_latency_queue_wait_seconds histogram",
+		"# TYPE finser_serd_latency_run_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	jr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(jr.Body).Decode(&snap); err != nil {
+		t.Fatalf("plain /metrics is not JSON: %v", err)
+	}
+	h, ok := snap.Histograms["serd/latency/admission_to_done_seconds"]
+	if !ok {
+		t.Fatal("JSON snapshot missing admission_to_done histogram")
+	}
+	if h.Count < 1 || h.P50 <= 0 || h.P99 < h.P50 {
+		t.Fatalf("latency percentiles malformed: %+v", h)
+	}
+}
