@@ -27,6 +27,18 @@
 //	                        (latency histograms include p50/p95/p99);
 //	                        ?format=prometheus renders the same registry in
 //	                        Prometheus text exposition format
+//	POST /shards            compute one energy-bin shard of a job's FIT
+//	                        integration (the worker half of the distributed
+//	                        protocol; coordinators call this, not humans)
+//
+// Distributed mode: -coordinator "http://w1:8080,http://w2:8080" turns this
+// serd into a coordinator — submitted jobs are split into energy-bin shards
+// and fanned out to the listed worker serds (plain serds; /shards is always
+// served) with work stealing, per-worker circuit breakers, and retry on
+// another worker when one crashes or times out. The merged FIT is
+// bit-identical to a single-node run of the same config/seed (jobs must pin
+// "workers"). Shard lifecycle events appear on the job's SSE stream, and
+// /readyz reports 503 while every worker's breaker is open.
 //
 // Every job-scoped log line is structured (JSON by default, -log-format
 // text for key=value) and stamped with the job ID and configuration
@@ -51,11 +63,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"finser"
 	"finser/internal/breaker"
+	"finser/internal/dist"
 	"finser/internal/obs"
 	"finser/internal/retry"
 	"finser/internal/server"
@@ -82,6 +96,13 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum structured-log level: debug|info|warn|error")
 		heartbeat    = flag.Duration("heartbeat", server.DefaultHeartbeat, "SSE keep-alive comment interval on /jobs/{id}/events")
 		eventBuffer  = flag.Int("event-buffer", 0, "per-job event ring capacity (the SSE replay window); 0 selects the default")
+
+		coordinator   = flag.String("coordinator", "", "comma-separated worker serd URLs; non-empty switches this serd into coordinator mode (jobs shard across the workers)")
+		shardBins     = flag.Int("shard-bins", 2, "coordinator: energy bins per shard")
+		shardTimeout  = flag.Duration("shard-timeout", 10*time.Minute, "coordinator: per-shard-attempt deadline")
+		shardAttempts = flag.Int("shard-attempts", 4, "coordinator: per-shard attempt budget across all workers before the job degrades to a partial FIT")
+		stealAfter    = flag.Duration("steal-after", 30*time.Second, "coordinator: how long a shard may stay in flight before an idle worker duplicate-dispatches it")
+		shardConc     = flag.Int("shard-concurrency", 0, "worker: concurrent shard slots on /shards (excess sheds 503); 0 selects the worker pool size")
 	)
 	flag.Parse()
 
@@ -111,18 +132,42 @@ func main() {
 	}
 
 	reg := finser.NewMetrics()
+	var distributor server.Distributor
+	if *coordinator != "" {
+		co, err := dist.New(dist.Config{
+			Workers:       strings.Split(*coordinator, ","),
+			ShardBins:     *shardBins,
+			ShardTimeout:  *shardTimeout,
+			ShardAttempts: *shardAttempts,
+			StealAfter:    *stealAfter,
+			Metrics:       reg,
+			Breaker: breaker.Config{
+				FailureThreshold: *brkThreshold,
+				Cooldown:         *brkCooldown,
+				OnStateChange: func(name string, from, to breaker.State) {
+					log.Printf("worker breaker %s: %s → %s", name, from, to)
+				},
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		distributor = co
+	}
 	srv := server.New(server.Config{
-		QueueDepth:    *queueDepth,
-		Workers:       *workers,
-		JobTimeout:    *jobTimeout,
-		RetryAfter:    *retryAfter,
-		CheckpointDir: *ckDir,
-		Metrics:       reg,
-		Guard:         guardMode,
-		GuardLog:      log.Printf,
-		Heartbeat:     *heartbeat,
-		EventBuffer:   *eventBuffer,
-		Logger:        logger,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		JobTimeout:       *jobTimeout,
+		RetryAfter:       *retryAfter,
+		CheckpointDir:    *ckDir,
+		Metrics:          reg,
+		Guard:            guardMode,
+		GuardLog:         log.Printf,
+		Heartbeat:        *heartbeat,
+		EventBuffer:      *eventBuffer,
+		Logger:           logger,
+		Distributor:      distributor,
+		ShardConcurrency: *shardConc,
 		Retry: retry.Policy{
 			MaxAttempts: *maxAttempts,
 			BaseDelay:   *baseDelay,
@@ -143,8 +188,13 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (workers=%d queue=%d checkpoint-dir=%q)",
-		*addr, *workers, *queueDepth, *ckDir)
+	if *coordinator != "" {
+		log.Printf("coordinating on %s over workers %s (shard-bins=%d steal-after=%s attempts=%d)",
+			*addr, *coordinator, *shardBins, *stealAfter, *shardAttempts)
+	} else {
+		log.Printf("serving on %s (workers=%d queue=%d checkpoint-dir=%q)",
+			*addr, *workers, *queueDepth, *ckDir)
+	}
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

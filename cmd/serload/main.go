@@ -109,8 +109,27 @@ func pickClass(rng *rand.Rand, classes []jobClass) jobClass {
 type outcome struct {
 	class   string
 	state   string
+	errMsg  string  // terminal error text for failed/canceled jobs
 	latency float64 // admission (POST sent) to terminal event, seconds
 	events  int64
+}
+
+// failureReason buckets a failed job's terminal error into the categories
+// an operator acts on differently: a "partial" distributed FIT (some
+// shards never completed — look at the worker pool), a blown "deadline"
+// (raise timeout_seconds or shrink the job), a "guard" invariant trip
+// (physics bug), or "other".
+func failureReason(errMsg string) string {
+	switch {
+	case strings.Contains(errMsg, "shard(s) missing"):
+		return "partial"
+	case strings.Contains(errMsg, "deadline"):
+		return "deadline"
+	case strings.Contains(errMsg, "invariant"):
+		return "guard"
+	default:
+		return "other"
+	}
 }
 
 // latencySummary is the report's percentile block (nearest-rank on the
@@ -168,6 +187,10 @@ type report struct {
 	Done     int `json:"done"`
 	Failed   int `json:"failed"`
 	Canceled int `json:"canceled"`
+	// FailedReasons breaks Failed down by terminal error category
+	// (partial | deadline | guard | other) — shed is already its own
+	// counter above, so non-OK outcomes are never lumped together.
+	FailedReasons map[string]int `json:"failed_reasons,omitempty"`
 
 	EventsConsumed int64   `json:"events_consumed"`
 	EventsPerSec   float64 `json:"events_per_sec"`
@@ -282,6 +305,10 @@ func main() {
 			perClass[o.class] = append(perClass[o.class], o.latency)
 		case "failed":
 			rep.Failed++
+			if rep.FailedReasons == nil {
+				rep.FailedReasons = map[string]int{}
+			}
+			rep.FailedReasons[failureReason(o.errMsg)]++
 		case "canceled":
 			rep.Canceled++
 		}
@@ -336,29 +363,30 @@ func runOne(addr string, cls jobClass, seed uint64) (outcome, int) {
 	}
 
 	o := outcome{class: cls.name}
-	state, events := followEvents(addr, st.ID)
+	state, errMsg, events := followEvents(addr, st.ID)
 	o.events = events
 	if state == "" {
 		// Stream ended without a terminal event (e.g. server restarted);
 		// fall back to one status poll.
-		state = pollState(addr, st.ID)
+		state, errMsg = pollState(addr, st.ID)
 	}
 	o.state = state
+	o.errMsg = errMsg
 	o.latency = time.Since(t0).Seconds()
 	return o, http.StatusAccepted
 }
 
 // followEvents consumes the job's SSE stream until a terminal state event
-// or stream end, returning the terminal state ("" if none seen) and how
-// many events arrived.
-func followEvents(addr, id string) (string, int64) {
+// or stream end, returning the terminal state ("" if none seen), its error
+// text, and how many events arrived.
+func followEvents(addr, id string) (string, string, int64) {
 	resp, err := http.Get(addr + "/jobs/" + id + "/events")
 	if err != nil {
-		return "", 0
+		return "", "", 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", 0
+		return "", "", 0
 	}
 	var events int64
 	sc := bufio.NewScanner(resp.Body)
@@ -371,6 +399,7 @@ func followEvents(addr, id string) (string, int64) {
 		var e struct {
 			Type  string `json:"type"`
 			State string `json:"state"`
+			Error string `json:"error"`
 		}
 		if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
 			continue
@@ -378,27 +407,28 @@ func followEvents(addr, id string) (string, int64) {
 		if e.Type == "state" {
 			switch e.State {
 			case "done", "failed", "canceled":
-				return e.State, events
+				return e.State, e.Error, events
 			}
 		}
 	}
-	return "", events
+	return "", "", events
 }
 
-// pollState fetches the job's current state once.
-func pollState(addr, id string) string {
+// pollState fetches the job's current state and error once.
+func pollState(addr, id string) (string, string) {
 	resp, err := http.Get(addr + "/jobs/" + id)
 	if err != nil {
-		return ""
+		return "", ""
 	}
 	defer resp.Body.Close()
 	var st struct {
 		State string `json:"state"`
+		Error string `json:"error"`
 	}
 	if json.NewDecoder(resp.Body).Decode(&st) != nil {
-		return ""
+		return "", ""
 	}
-	return st.State
+	return st.State, st.Error
 }
 
 // scrapeServerHistogram pulls serd's admission-to-done histogram from the

@@ -643,46 +643,63 @@ func buildFlowEngine(cfg FlowConfig, char *Characterization, flow *obs.Span) (*E
 	return eng, nil
 }
 
-// fitSpecies runs one species' environment stage — spectrum, Eq. 8 bins,
-// FIT integration — on an already-built engine. The per-species seed
-// offsets (alpha: Seed+1, proton: Seed+2) match the historical RunFlow
-// stream split, so a staged run reproduces RunFlow bit-identically. cfg
-// must already carry defaults.
-func fitSpecies(ctx context.Context, cfg FlowConfig, eng *Engine, flow *obs.Span, sp Species) (FITResult, error) {
+// speciesEnv resolves one species' environment exactly as the historical
+// RunFlow did: the spectrum, its Eq. 8 energy-bin discretization, and the
+// per-species seed offset (alpha: Seed+1, proton: Seed+2) matching the
+// RunFlow stream split. cfg must already carry defaults. Every FIT surface
+// — single-node, staged, and distributed shards — plans through this one
+// function, so they all agree on the bins and seed schedule to the bit.
+func speciesEnv(cfg FlowConfig, sp Species) (spec Spectrum, bins []EnergyBin, seed uint64, err error) {
 	var (
-		spec     Spectrum
-		err      error
-		name     string
-		lo, hi   float64
-		nBins    int
-		seedBump uint64
+		name   string
+		lo, hi float64
+		nBins  int
 	)
 	switch sp {
 	case Alpha:
 		spec, err = NewAlphaSpectrum(cfg.AlphaRate)
-		name, lo, hi, nBins, seedBump = "alpha", 0.5, 10, cfg.AlphaBins, 1
+		name, lo, hi, nBins, seed = "alpha", 0.5, 10, cfg.AlphaBins, cfg.Seed+1
 	case Proton:
 		spec, err = NewProtonSpectrum(cfg.ProtonScale)
-		name, lo, hi, nBins, seedBump = "proton", 0.1, 100, cfg.ProtonBins, 2
+		name, lo, hi, nBins, seed = "proton", 0.1, 100, cfg.ProtonBins, cfg.Seed+2
 	default:
-		return FITResult{}, fmt.Errorf("finser: species FIT: unsupported species %v", sp)
+		return nil, nil, 0, fmt.Errorf("finser: species FIT: unsupported species %v", sp)
 	}
 	if err != nil {
-		return FITResult{}, err
+		return nil, nil, 0, err
 	}
-	binSpan := flow.Child("bins-" + name)
-	bins, err := Bins(spec, lo, hi, nBins)
+	bins, err = Bins(spec, lo, hi, nBins)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("finser: %s bins: %w", name, err)
+	}
+	return spec, bins, seed, nil
+}
+
+// fitSpecies runs one species' environment stage — spectrum, Eq. 8 bins,
+// FIT integration — on an already-built engine. cfg must already carry
+// defaults.
+func fitSpecies(ctx context.Context, cfg FlowConfig, eng *Engine, flow *obs.Span, sp Species) (FITResult, error) {
+	binSpan := flow.Child("bins-" + speciesName(sp))
+	spec, bins, seed, err := speciesEnv(cfg, sp)
 	binSpan.End()
 	if err != nil {
 		return FITResult{}, err
 	}
-	fitSpan := flow.Child("fit-" + name)
-	res, err := eng.FITCtx(ctx, spec, bins, cfg.ItersPerBin, cfg.Seed+seedBump)
+	fitSpan := flow.Child("fit-" + speciesName(sp))
+	res, err := eng.FITCtx(ctx, spec, bins, cfg.ItersPerBin, seed)
 	fitSpan.End()
 	if err != nil {
-		return FITResult{}, fmt.Errorf("finser: %s FIT: %w", name, err)
+		return FITResult{}, fmt.Errorf("finser: %s FIT: %w", speciesName(sp), err)
 	}
 	return res, nil
+}
+
+// speciesName is the stable lowercase stage name of a species.
+func speciesName(sp Species) string {
+	if sp == Alpha {
+		return "alpha"
+	}
+	return "proton"
 }
 
 // CharacterizeFlowCtx runs only the characterization stage of the flow,
@@ -735,6 +752,113 @@ func SpeciesFITCtx(ctx context.Context, cfg FlowConfig, char *Characterization, 
 		return FITResult{}, err
 	}
 	return fitSpecies(ctx, cfg, eng, flow, sp)
+}
+
+// SpeciesBins returns the Eq. 8 energy-bin discretization one species' FIT
+// stage integrates over, with cfg defaults resolved — the shard axis of a
+// distributed run. The bins are a pure function of the configuration, so a
+// coordinator and its workers independently derive identical plans.
+func SpeciesBins(cfg FlowConfig, sp Species) ([]EnergyBin, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	_, bins, _, err := speciesEnv(cfg, sp)
+	return bins, err
+}
+
+// SpeciesSeedSchedule returns the pre-drawn per-bin seed schedule of one
+// species' FIT stage (aligned with SpeciesBins): bin k's Monte-Carlo
+// substream is a pure function of (cfg.Seed, species, k), which is what
+// lets an energy-bin shard run on any machine and still reproduce the
+// single-node integration bit-identically.
+func SpeciesSeedSchedule(cfg FlowConfig, sp Species) ([]uint64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	_, bins, seed, err := speciesEnv(cfg, sp)
+	if err != nil {
+		return nil, err
+	}
+	return core.FITSeedSchedule(seed, len(bins)), nil
+}
+
+// SpeciesShardPOFCtx computes the POF points of one species' energy bins
+// [from,to) with a pre-built characterization — the unit of work a
+// distributed worker serd executes. The engine construction, bin plan, and
+// per-bin seeds are exactly those of SpeciesFITCtx, so the returned points
+// are bit-identical to the slice the single-node integration would
+// produce for the same bins; a coordinator merges complete shard sets with
+// AssembleSpeciesFIT.
+func SpeciesShardPOFCtx(ctx context.Context, cfg FlowConfig, char *Characterization, sp Species, from, to int) ([]POFPoint, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	flow := cfg.Obs.StartSpan("flow")
+	defer flow.End()
+	// Shards never checkpoint worker-side: the coordinator owns shard-level
+	// checkpoints, and a worker-local store would fracture the fingerprint
+	// namespace.
+	cfg.Checkpoint = nil
+	eng, err := buildFlowEngine(cfg, char, flow)
+	if err != nil {
+		return nil, err
+	}
+	_, bins, seed, err := speciesEnv(cfg, sp)
+	if err != nil {
+		return nil, err
+	}
+	shardSpan := flow.Child(fmt.Sprintf("shard-%s-%d-%d", speciesName(sp), from, to))
+	pts, err := eng.POFBinsCtx(ctx, sp, bins, cfg.ItersPerBin, core.FITSeedSchedule(seed, len(bins)), from, to)
+	shardSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("finser: %s shard [%d,%d): %w", speciesName(sp), from, to, err)
+	}
+	return pts, nil
+}
+
+// AssembleSpeciesFIT folds per-bin POF points into one species' FIT result
+// without running any Monte Carlo — the distributed coordinator's merge
+// step. binIdx names the energy bin of each point (nil means all bins, in
+// order). With the complete bin set the accumulation runs the same float
+// operations in the same order as the single-node FITCtx, so the merged
+// FITResult is bit-identical to SpeciesFITCtx's; with a subset it is the
+// partial FIT sum over just those bins (what a *dist.PartialError reports).
+func AssembleSpeciesFIT(cfg FlowConfig, sp Species, binIdx []int, points []POFPoint) (FITResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return FITResult{}, err
+	}
+	_, bins, _, err := speciesEnv(cfg, sp)
+	if err != nil {
+		return FITResult{}, err
+	}
+	if binIdx == nil {
+		binIdx = make([]int, len(bins))
+		for i := range binIdx {
+			binIdx[i] = i
+		}
+	}
+	if len(binIdx) != len(points) {
+		return FITResult{}, fmt.Errorf("finser: assemble %s FIT: %d bin indices for %d points", speciesName(sp), len(binIdx), len(points))
+	}
+	sel := make([]EnergyBin, len(binIdx))
+	for k, i := range binIdx {
+		if i < 0 || i >= len(bins) {
+			return FITResult{}, fmt.Errorf("finser: assemble %s FIT: bin index %d outside %d-bin plan", speciesName(sp), i, len(bins))
+		}
+		if k > 0 && i <= binIdx[k-1] {
+			return FITResult{}, fmt.Errorf("finser: assemble %s FIT: bin indices must be strictly increasing", speciesName(sp))
+		}
+		sel[k] = bins[i]
+	}
+	area, err := core.ArrayAreaCm2(cfg.Tech, cfg.Rows, cfg.Cols)
+	if err != nil {
+		return FITResult{}, fmt.Errorf("finser: assemble %s FIT: %w", speciesName(sp), err)
+	}
+	return core.AssembleFIT(sp, cfg.Vdd, sel, points, area), nil
 }
 
 // SweepError reports the voltage at which a Vdd sweep failed. RunVddSweep

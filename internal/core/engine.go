@@ -817,11 +817,7 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	// bin order, exactly as the sequential code consumed them) is what
 	// makes a resumed run bit-identical: bin k's substream is a pure
 	// function of (seed, k).
-	src := rng.New(seed)
-	seeds := make([]uint64, len(bins))
-	for i := range seeds {
-		seeds[i] = src.Uint64()
-	}
+	seeds := FITSeedSchedule(seed, len(bins))
 
 	state := fitState{ItersPerBin: itersPerBin, Seeds: seeds}
 	ckStage := e.cfg.CheckpointPrefix + stage
@@ -889,19 +885,10 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	}
 
 	// Accumulate from the ordered points — the same float operations in
-	// the same order whether the points were computed here or restored.
-	res.Points = state.Points
-	for i, b := range bins {
-		pt := res.Points[i]
-		res.TotalFIT += pt.Tot * b.IntFlux * area * fitScale
-		res.SEUFIT += pt.SEU * b.IntFlux * area * fitScale
-		res.MBUFIT += pt.MBU * b.IntFlux * area * fitScale
-		binErr := pt.TotStdErr * b.IntFlux * area * fitScale
-		res.TotalFITErr = math.Sqrt(res.TotalFITErr*res.TotalFITErr + binErr*binErr)
-	}
-	if res.SEUFIT > 0 {
-		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
-	}
+	// the same order whether the points were computed here, restored from a
+	// checkpoint, or (via AssembleFIT's other callers) merged from
+	// distributed shards.
+	res = AssembleFIT(spec.Species(), res.Vdd, bins, state.Points, area)
 	if g := e.cfg.Guard; g.Enabled() {
 		for _, c := range []struct {
 			name string
@@ -916,6 +903,87 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 		}
 	}
 	return res, nil
+}
+
+// FITSeedSchedule returns the per-bin seed schedule FITCtx pre-draws from
+// seed: bin k's Monte-Carlo substream is a pure function of (seed, k),
+// independent of which process — or which machine — computes it. The
+// distributed coordinator and its worker serds both derive the schedule
+// from the job seed, which is what makes energy-bin shards relocatable
+// without losing bit-identity with the single-node run.
+func FITSeedSchedule(seed uint64, nBins int) []uint64 {
+	src := rng.New(seed)
+	seeds := make([]uint64, nBins)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+	return seeds
+}
+
+// POFBinsCtx is the shard-scoped FIT entry: it estimates the POF points of
+// bins[from:to) using the given pre-drawn seed schedule (aligned with bins,
+// typically FITSeedSchedule output), exactly as FITCtx would for those
+// bins. A worker computing bins [from,to) with the job's seed schedule
+// produces points bit-identical to the single-node integration, so a
+// coordinator can merge shards from many machines with AssembleFIT and land
+// on the same FITResult to the last bit.
+func (e *Engine) POFBinsCtx(ctx context.Context, sp phys.Species, bins []spectra.EnergyBin, itersPerBin int, seeds []uint64, from, to int) ([]POFPoint, error) {
+	if len(seeds) != len(bins) {
+		return nil, fmt.Errorf("core: POF bins: %d seeds for %d bins", len(seeds), len(bins))
+	}
+	if from < 0 || to > len(bins) || from >= to {
+		return nil, fmt.Errorf("core: POF bins: bad shard range [%d,%d) over %d bins", from, to, len(bins))
+	}
+	if itersPerBin <= 0 {
+		return nil, errors.New("core: POF bins needs positive iterations per bin")
+	}
+	stage := "fit/" + sp.String()
+	out := make([]POFPoint, 0, to-from)
+	for i := from; i < to; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+		}
+		pt, err := e.POFAtEnergyCtx(ctx, sp, bins[i].Rep, itersPerBin, seeds[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AssembleFIT folds per-bin POF points into the Eq. 8 FIT integral —
+// exactly the accumulation FITCtx performs, factored out so a distributed
+// merge runs the same float operations in the same (bin) order and is
+// therefore bit-identical to the single-node result. points must align
+// with bins; passing a completed subset of (bins, points) pairs yields the
+// partial FIT sum over just those bins.
+func AssembleFIT(sp phys.Species, vdd float64, bins []spectra.EnergyBin, points []POFPoint, areaCm2 float64) FITResult {
+	res := FITResult{Species: sp, Vdd: vdd, Bins: bins, Points: points}
+	for i, b := range bins {
+		pt := points[i]
+		res.TotalFIT += pt.Tot * b.IntFlux * areaCm2 * fitScale
+		res.SEUFIT += pt.SEU * b.IntFlux * areaCm2 * fitScale
+		res.MBUFIT += pt.MBU * b.IntFlux * areaCm2 * fitScale
+		binErr := pt.TotStdErr * b.IntFlux * areaCm2 * fitScale
+		res.TotalFITErr = math.Sqrt(res.TotalFITErr*res.TotalFITErr + binErr*binErr)
+	}
+	if res.SEUFIT > 0 {
+		res.MBUToSEU = 100 * res.MBUFIT / res.SEUFIT
+	}
+	return res
+}
+
+// ArrayAreaCm2 returns the die area of the tiled array in cm² — the Eq. 8
+// area factor — without building a full engine, so a coordinator that never
+// touches a characterization can still run the FIT merge.
+func ArrayAreaCm2(tech finfet.Technology, rows, cols int) (float64, error) {
+	arr, err := layout.NewArray(layout.ThinCellLayout(tech), rows, cols)
+	if err != nil {
+		return 0, err
+	}
+	lx, ly := arr.DimsCm()
+	return lx * ly, nil
 }
 
 // compatibleFITState verifies a restored checkpoint stage matches this

@@ -1,0 +1,187 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"finser"
+	"finser/internal/dist"
+)
+
+// tinyFlow is the shared fast-but-real job configuration: full physics,
+// minimal Monte-Carlo budget, workers pinned (required for distribution).
+func tinyFlow() finser.FlowConfig {
+	return finser.FlowConfig{
+		Vdd:         0.7,
+		Samples:     6,
+		ItersPerBin: 200,
+		AlphaBins:   3,
+		ProtonBins:  4,
+		Workers:     1,
+		Seed:        42,
+	}
+}
+
+// tinyShardRequest builds a valid wire request for the first alpha shard
+// of tinyFlow.
+func tinyShardRequest(t *testing.T) *dist.ShardRequest {
+	t.Helper()
+	flow := tinyFlow()
+	spec, err := dist.SpecFromFlow(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := finser.SpeciesSeedSchedule(flow, finser.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dist.ShardID{Species: dist.SpeciesAlpha, Start: 0, End: 2}
+	fp, err := dist.ShardFingerprint(spec, id, sched[0:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dist.ShardRequest{Job: spec, Shard: id, Seeds: sched[0:2], Fingerprint: fp}
+}
+
+func TestSpecFlowRoundTrip(t *testing.T) {
+	flow := tinyFlow()
+	flow.Pattern = finser.PatternCheckerboard
+	spec, err := dist.SpecFromFlow(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.FlowConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Vdd != flow.Vdd || back.Seed != flow.Seed || back.Workers != flow.Workers ||
+		back.Pattern != flow.Pattern || back.AlphaBins != flow.AlphaBins {
+		t.Fatalf("round trip mutated the config: %+v vs %+v", back, flow)
+	}
+}
+
+func TestSpecFromFlowRejectsUnpinnedWorkers(t *testing.T) {
+	flow := tinyFlow()
+	flow.Workers = 0
+	if _, err := dist.SpecFromFlow(flow); !dist.IsWire(err) {
+		t.Fatalf("want *WireError for unpinned workers, got %v", err)
+	}
+}
+
+func TestDecodeShardRequestValid(t *testing.T) {
+	req := tinyShardRequest(t)
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.DecodeShardRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != req.Shard || got.Fingerprint != req.Fingerprint {
+		t.Fatalf("decode mutated the request: %+v", got)
+	}
+}
+
+func TestDecodeShardRequestRejects(t *testing.T) {
+	valid := tinyShardRequest(t)
+	mutate := func(f func(*dist.ShardRequest)) []byte {
+		r := *valid
+		r.Seeds = append([]uint64(nil), valid.Seeds...)
+		f(&r)
+		b, _ := json.Marshal(&r)
+		return b
+	}
+	cases := map[string][]byte{
+		"garbage":        []byte("{nope"),
+		"unknown field":  []byte(`{"job":{},"shard":{},"bogus":1}`),
+		"bad species":    mutate(func(r *dist.ShardRequest) { r.Shard.Species = "muon" }),
+		"empty range":    mutate(func(r *dist.ShardRequest) { r.Shard.End = r.Shard.Start }),
+		"range past end": mutate(func(r *dist.ShardRequest) { r.Shard.End = 99; r.Seeds = make([]uint64, 99) }),
+		"seed count":     mutate(func(r *dist.ShardRequest) { r.Seeds = r.Seeds[:1] }),
+		"seed skew":      mutate(func(r *dist.ShardRequest) { r.Seeds[0]++ }),
+		"no fingerprint": mutate(func(r *dist.ShardRequest) { r.Fingerprint = "" }),
+		"bad job":        mutate(func(r *dist.ShardRequest) { r.Job.Vdd = -1 }),
+		"unpinned":       mutate(func(r *dist.ShardRequest) { r.Job.Workers = 0 }),
+	}
+	for name, data := range cases {
+		if _, err := dist.DecodeShardRequest(data); err == nil {
+			t.Errorf("%s: decode accepted invalid request", name)
+		} else if !dist.IsWire(err) && name != "bad job" {
+			t.Errorf("%s: want *WireError, got %T %v", name, err, err)
+		}
+	}
+}
+
+// validShardResult fabricates a structurally valid result for the tiny
+// alpha shard (points need not come from real Monte Carlo to test the wire).
+func validShardResult(t *testing.T) ([]byte, *dist.ShardRequest) {
+	t.Helper()
+	req := tinyShardRequest(t)
+	res := dist.ShardResult{
+		Fingerprint: req.Fingerprint,
+		Shard:       req.Shard,
+		Points: []finser.POFPoint{
+			{EnergyMeV: 1.0, Tot: 0.5, SEU: 0.4, MBU: 0.1, TotStdErr: 0.01, Strikes: 200, HitFrac: 0.9},
+			{EnergyMeV: 2.0, Tot: 0.25, SEU: 0.2, MBU: 0.05, TotStdErr: 0.02, Strikes: 200, HitFrac: 0.8},
+		},
+		Worker: "w1",
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, req
+}
+
+func TestDecodeShardResultValid(t *testing.T) {
+	data, req := validShardResult(t)
+	res, err := dist.DecodeShardResult(data, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Worker != "w1" {
+		t.Fatalf("decode mutated the result: %+v", res)
+	}
+}
+
+func TestDecodeShardResultRejects(t *testing.T) {
+	data, req := validShardResult(t)
+	mutate := func(f func(*dist.ShardResult)) []byte {
+		var r dist.ShardResult
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		f(&r)
+		b, _ := json.Marshal(&r)
+		return b
+	}
+	cases := map[string][]byte{
+		"garbage":           []byte(`{"fingerprint":`),
+		"truncated":         data[:len(data)/2],
+		"wrong fingerprint": mutate(func(r *dist.ShardResult) { r.Fingerprint = "deadbeef" }),
+		"wrong shard":       mutate(func(r *dist.ShardResult) { r.Shard.Start++; r.Shard.End++ }),
+		"short points":      mutate(func(r *dist.ShardResult) { r.Points = r.Points[:1] }),
+		// json.Marshal refuses NaN/Inf, so splice raw tokens in: a bare NaN
+		// is a JSON syntax error (rejected at decode), and a huge literal
+		// overflows float64 to +Inf inside the decoder.
+		"nan tot":         []byte(strings.Replace(string(data), `"Tot":0.5`, `"Tot":NaN`, 1)),
+		"overflow stderr": []byte(strings.Replace(string(data), `"TotStdErr":0.01`, `"TotStdErr":-1`, 1)),
+		"pof above one":   mutate(func(r *dist.ShardResult) { r.Points[0].SEU = 1.5 }),
+		"negative energy": mutate(func(r *dist.ShardResult) { r.Points[0].EnergyMeV = -3 }),
+		"zero strikes":    mutate(func(r *dist.ShardResult) { r.Points[0].Strikes = 0 }),
+	}
+	for name, body := range cases {
+		_, err := dist.DecodeShardResult(body, req)
+		if err == nil {
+			t.Errorf("%s: decode accepted invalid result", name)
+			continue
+		}
+		var we *dist.WireError
+		if !errors.As(err, &we) {
+			t.Errorf("%s: want *WireError, got %T %v", name, err, err)
+		}
+	}
+}

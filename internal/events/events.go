@@ -39,6 +39,10 @@ const (
 	TypeBin = "bin"
 	// TypeViolation reports a physics-invariant guard violation.
 	TypeViolation = "violation"
+	// TypeShard marks a distributed-shard lifecycle transition
+	// (dispatched/stolen/retried/completed/duplicate/failed/resumed);
+	// Shard, Worker, Attempt, and State (the transition kind) are set.
+	TypeShard = "shard"
 	// TypeGap is synthesized by a streaming front-end (not published into
 	// the ring) when a reconnecting subscriber's resume point has aged out
 	// of the buffer; Missed carries the number of lost events.
@@ -91,6 +95,13 @@ type Event struct {
 	Invariant string  `json:"invariant,omitempty"`
 	Detail    string  `json:"detail,omitempty"`
 	Value     float64 `json:"value,omitempty"`
+
+	// Shard events (distributed runs). Shard names the energy-bin range
+	// ("alpha[0:2)"), Worker the worker serd URL, Attempt the 1-based
+	// dispatch count; State carries the transition kind.
+	Shard   string `json:"shard,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 
 	// Gap events (front-end synthesized).
 	Missed int64 `json:"missed,omitempty"`

@@ -31,6 +31,7 @@ import (
 
 	"finser"
 	"finser/internal/breaker"
+	"finser/internal/dist"
 	"finser/internal/events"
 	"finser/internal/faultinject"
 	"finser/internal/obs"
@@ -123,6 +124,32 @@ type Config struct {
 	// GuardEvent, Progress wired to the job's event stream) the real
 	// pipeline gets.
 	Runner func(ctx context.Context, cfg finser.FlowConfig) (*JobResult, error)
+	// Distributor, when non-nil, switches the server into coordinator
+	// mode: jobs run by sharding across a worker-serd pool (dist.New fits)
+	// instead of the local pipeline. Runner still wins when both are set.
+	// Coordinator mode requires submissions to pin workers > 0, and
+	// /readyz reflects Ready() so a pool with every breaker open reports
+	// 503.
+	Distributor Distributor
+	// ShardConcurrency bounds concurrent shard computations on the worker
+	// /shards endpoint; excess shard requests shed with 503 so the
+	// coordinator routes them elsewhere. Zero selects Workers.
+	ShardConcurrency int
+	// CharCache bounds the worker-side characterization cache (distinct
+	// job fingerprints kept warm for shard requests). Zero selects
+	// DefaultCharCache.
+	CharCache int
+}
+
+// Distributor runs one job's FIT across a remote worker pool. It is the
+// seam between the serving layer and internal/dist: the server owns job
+// lifecycle, checkpoint store, and the event stream; the distributor owns
+// sharding, stealing, retry, and the bit-identical merge.
+type Distributor interface {
+	// Run executes the job, reporting shard lifecycle transitions to emit.
+	Run(ctx context.Context, cfg finser.FlowConfig, emit func(dist.ShardEvent)) (*dist.Result, error)
+	// Ready reports whether the pool can make progress (nil = ready).
+	Ready() error
 }
 
 // Server is the resilient SER job daemon core. Construct with New, launch
@@ -137,6 +164,8 @@ type Server struct {
 	running  atomic.Int64
 	started  time.Time
 	build    buildInfo
+	shardSem chan struct{}
+	chars    *charCache
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -179,8 +208,14 @@ func New(cfg Config) *Server {
 	for _, st := range speciesStages {
 		s.breakers[st.name] = s.newBreaker(st.name)
 	}
+	if cfg.ShardConcurrency <= 0 {
+		cfg.ShardConcurrency = cfg.Workers
+	}
+	s.shardSem = make(chan struct{}, cfg.ShardConcurrency)
+	s.chars = newCharCache(cfg.CharCache)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /shards", s.handleShard)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
@@ -235,6 +270,13 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 	if err := cfg.Validate(); err != nil {
 		return JobStatus{}, err
+	}
+	// A distributed run is bit-identical to single-node only under a pinned
+	// worker count (the per-bin RNG substream split depends on it), so
+	// coordinator mode refuses the "whatever GOMAXPROCS is" default.
+	if s.cfg.Distributor != nil && req.Workers <= 0 {
+		return JobStatus{}, &RequestError{Field: "workers",
+			Reason: "must be pinned (> 0) for distributed execution: the Monte-Carlo substream split depends on it"}
 	}
 	// The guard configuration is the server's policy, not the client's:
 	// attach it at admission so every execution path (including injected
@@ -422,9 +464,12 @@ func (s *Server) runJob(j *job) {
 
 	var res *JobResult
 	var err error
-	if s.cfg.Runner != nil {
+	switch {
+	case s.cfg.Runner != nil:
 		res, err = s.cfg.Runner(ctx, j.cfg)
-	} else {
+	case s.cfg.Distributor != nil:
+		res, err = s.runDistributed(ctx, j)
+	default:
 		res, err = s.runPipeline(ctx, j)
 	}
 
@@ -556,6 +601,47 @@ func (s *Server) runPipeline(ctx context.Context, j *job) (*JobResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// runDistributed drives one job through the coordinator: same checkpoint
+// store and telemetry stream as the local pipeline, but execution is
+// sharded across the worker pool. Shard lifecycle transitions become
+// TypeShard events on the job's SSE stream; a *dist.PartialError surfaces
+// as a failed job whose error names the missing bins.
+func (s *Server) runDistributed(ctx context.Context, j *job) (*JobResult, error) {
+	cfg := j.cfg
+	cfg.Obs = s.reg
+	cfg.Faults = s.cfg.Faults
+	if s.cfg.CheckpointDir != "" {
+		store, resumed, err := s.openCheckpoint(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		cfg.Checkpoint = store
+		s.mu.Lock()
+		j.resumed = resumed
+		s.mu.Unlock()
+	}
+	emit := func(ev dist.ShardEvent) {
+		e := events.Event{
+			Type: events.TypeShard, State: ev.Kind,
+			Shard: ev.Shard.String(), Worker: ev.Worker, Attempt: ev.Attempt,
+			Resumed: ev.Kind == dist.EventResumed,
+		}
+		if ev.Err != nil {
+			e.Error = ev.Err.Error()
+		}
+		s.publish(j, e)
+		if ev.Kind == dist.EventRetried || ev.Kind == dist.EventFailed {
+			j.logInfo("shard "+ev.Kind, "shard", ev.Shard.String(),
+				"worker", ev.Worker, "attempt", ev.Attempt, "error", e.Error)
+		}
+	}
+	res, err := s.cfg.Distributor.Run(ctx, cfg, emit)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Vdd: res.Vdd, Alpha: res.Alpha, Proton: res.Proton}, nil
 }
 
 // openCheckpoint opens (or creates) the job's fingerprint-keyed checkpoint
@@ -762,6 +848,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		s.writeUnavailable(w, "draining")
 		return
+	}
+	// Coordinator mode: readiness means the worker pool can make progress.
+	// A pool with every breaker open would only queue jobs to fail, so
+	// report 503 until a worker's half-open probe succeeds.
+	if s.cfg.Distributor != nil {
+		if err := s.cfg.Distributor.Ready(); err != nil {
+			s.writeUnavailable(w, err.Error())
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
