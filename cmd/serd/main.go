@@ -45,6 +45,19 @@
 // fingerprint, the keys that join a log line to the job's metrics and its
 // event stream.
 //
+// Durability: -data-dir /var/lib/serd makes the job layer crash-safe — a
+// CRC-framed fsync'd write-ahead journal of job lifecycle records lives
+// under it, and on startup serd replays the journal: terminal jobs come
+// back queryable with their results, queued jobs re-enter the queue, and
+// jobs that were mid-Monte-Carlo resume from their checkpoints (which
+// default to <data-dir>/checkpoints) so the recovered FIT is bit-identical
+// to an uninterrupted run. A `kill -9` loses nothing but in-flight
+// milliseconds. Durable serds also dedupe retried submissions by the
+// Idempotency-Key header (defaulting to the flow fingerprint): a client
+// whose 202 was lost to the crash resubmits and lands on the original job
+// with a 200. -job-ttl evicts terminal jobs (and their orphaned
+// checkpoints) after the given age so the registry stays bounded.
+//
 // Shutdown: SIGTERM or SIGINT starts a graceful drain — admission stops
 // (/readyz flips to 503), queued and running jobs are canceled, completed
 // FIT bins are already checkpointed, and the process exits 0. With
@@ -90,6 +103,8 @@ func main() {
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive stage failures that trip a species breaker")
 		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a half-open probe")
 		ckDir        = flag.String("checkpoint-dir", "", "directory for per-job checkpoints; identical resubmissions resume bit-identically")
+		dataDir      = flag.String("data-dir", "", "durable state root: job journal (journal.wal) plus default checkpoint dir; on restart the journal replays and interrupted jobs resume")
+		jobTTL       = flag.Duration("job-ttl", 0, "evict terminal jobs (and orphaned checkpoints) this long after they finish; 0 keeps them forever")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for workers to unwind")
 		guardStr     = flag.String("guard", "warn", "physics-invariant enforcement for every job: off|warn|strict (strict fails the job on the first violation)")
 		logFormat    = flag.String("log-format", "json", "structured job-log format: json|text")
@@ -160,6 +175,8 @@ func main() {
 		JobTimeout:       *jobTimeout,
 		RetryAfter:       *retryAfter,
 		CheckpointDir:    *ckDir,
+		DataDir:          *dataDir,
+		JobTTL:           *jobTTL,
 		Metrics:          reg,
 		Guard:            guardMode,
 		GuardLog:         log.Printf,
@@ -183,6 +200,14 @@ func main() {
 			},
 		},
 	})
+	if *dataDir != "" {
+		stats, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("journal recovery: %v", err)
+		}
+		log.Printf("journal replayed: %d jobs requeued, %d terminal restored, %d invalid, %d evicted, %d corrupt records skipped",
+			stats.Requeued, stats.RestoredTerminal, stats.Invalid, stats.Evicted, stats.CorruptRecords)
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

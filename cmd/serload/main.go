@@ -178,11 +178,16 @@ type report struct {
 	Mix             string  `json:"mix"`
 	WallSeconds     float64 `json:"wall_seconds"`
 
-	Submitted int64   `json:"submitted"`
-	Accepted  int64   `json:"accepted"`
-	Shed      int64   `json:"shed"`
-	Errors    int64   `json:"errors"`
-	ShedRate  float64 `json:"shed_rate"`
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	// Shed counts submissions that stayed rejected after the resubmit
+	// budget was spent — terminal sheds. Resubmitted counts the 503s that
+	// were retried after honoring Retry-After; a job that sheds, retries,
+	// and lands contributes to Resubmitted and Accepted, not Shed.
+	Shed        int64   `json:"shed"`
+	Resubmitted int64   `json:"resubmitted"`
+	Errors      int64   `json:"errors"`
+	ShedRate    float64 `json:"shed_rate"`
 
 	Done     int `json:"done"`
 	Failed   int `json:"failed"`
@@ -217,6 +222,7 @@ func main() {
 		outPath  = flag.String("out", "", "report file (default stdout)")
 		seed     = flag.Int64("seed", 1, "mix-choice and job-seed RNG seed")
 		jobWait  = flag.Duration("job-wait", 5*time.Minute, "how long to wait for in-flight jobs after the last submission")
+		resubmit = flag.Int("resubmit-budget", 2, "how many times one shed (503) submission honors Retry-After and resubmits before counting as a terminal shed; 0 never resubmits")
 	)
 	flag.Parse()
 
@@ -230,10 +236,10 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	var (
-		submitted, accepted, shed, errs, eventsTotal atomic.Int64
-		mu                                           sync.Mutex
-		outcomes                                     []outcome
-		wg                                           sync.WaitGroup
+		submitted, accepted, shed, resubmitted, errs, eventsTotal atomic.Int64
+		mu                                                        sync.Mutex
+		outcomes                                                  []outcome
+		wg                                                        sync.WaitGroup
 	)
 
 	start := time.Now()
@@ -249,9 +255,10 @@ func main() {
 		wg.Add(1)
 		go func(cls jobClass, seed uint64) {
 			defer wg.Done()
-			o, status := runOne(*addr, cls, seed)
+			o, status, retries := runOne(*addr, cls, seed, *resubmit)
+			resubmitted.Add(retries)
 			switch status {
-			case http.StatusAccepted:
+			case http.StatusAccepted, http.StatusOK:
 				accepted.Add(1)
 				eventsTotal.Add(o.events)
 				mu.Lock()
@@ -285,6 +292,7 @@ func main() {
 		Submitted:       submitted.Load(),
 		Accepted:        accepted.Load(),
 		Shed:            shed.Load(),
+		Resubmitted:     resubmitted.Load(),
 		Errors:          errs.Load(),
 		EventsConsumed:  eventsTotal.Load(),
 		PerClass:        map[string]latencySummary{},
@@ -335,10 +343,11 @@ func main() {
 		*outPath, rep.Accepted, rep.Shed, rep.Latency.P50, rep.Latency.P99)
 }
 
-// runOne submits one job and, when accepted, follows its SSE stream to the
-// terminal state. The returned status is the HTTP submit status (0 on a
-// transport error).
-func runOne(addr string, cls jobClass, seed uint64) (outcome, int) {
+// runOne submits one job — honoring Retry-After on 503 up to budget
+// resubmissions — and, when accepted, follows its SSE stream to the
+// terminal state. It returns the final HTTP submit status (0 on a
+// transport error) and how many resubmissions it spent.
+func runOne(addr string, cls jobClass, seed uint64, budget int) (outcome, int, int64) {
 	body := make(map[string]any, len(cls.body)+1)
 	for k, v := range cls.body {
 		body[k] = v
@@ -347,19 +356,36 @@ func runOne(addr string, cls jobClass, seed uint64) (outcome, int) {
 	payload, _ := json.Marshal(body)
 
 	t0 := time.Now()
-	resp, err := http.Post(addr+"/jobs", "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return outcome{class: cls.name}, 0
+	var resp *http.Response
+	var err error
+	var retries int64
+	for {
+		resp, err = http.Post(addr+"/jobs", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return outcome{class: cls.name}, 0, retries
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || retries >= int64(budget) {
+			break
+		}
+		// The load-shed contract: back off exactly as long as the server
+		// asked, then resubmit. The budget bounds how long one arrival can
+		// chase a saturated server.
+		delay := retryAfterDelay(resp.Header.Get("Retry-After"))
+		resp.Body.Close()
+		retries++
+		time.Sleep(delay)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return outcome{class: cls.name}, resp.StatusCode
+	// 202 is a fresh admission; 200 is a durable serd deduping the
+	// resubmission onto a job it already owns — both mean the job is in.
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return outcome{class: cls.name}, resp.StatusCode, retries
 	}
 	var st struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
-		return outcome{class: cls.name}, 0
+		return outcome{class: cls.name}, 0, retries
 	}
 
 	o := outcome{class: cls.name}
@@ -373,7 +399,23 @@ func runOne(addr string, cls jobClass, seed uint64) (outcome, int) {
 	o.state = state
 	o.errMsg = errMsg
 	o.latency = time.Since(t0).Seconds()
-	return o, http.StatusAccepted
+	return o, resp.StatusCode, retries
+}
+
+// retryAfterDelay parses a Retry-After header (delta-seconds form),
+// clamped to [100ms, 30s]; an absent or unparsable header backs off 1s.
+func retryAfterDelay(h string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil {
+		d = time.Duration(secs) * time.Second
+	}
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // followEvents consumes the job's SSE stream until a terminal state event

@@ -47,6 +47,11 @@ const (
 	// the ring) when a reconnecting subscriber's resume point has aged out
 	// of the buffer; Missed carries the number of lost events.
 	TypeGap = "gap"
+	// TypeRecovery marks a journal-replay action on a restarted server:
+	// State is "requeued" (job going back on the queue to resume from its
+	// checkpoint), "restored" (terminal job rebuilt with its result), or
+	// "failed-validation" (journaled spec the server no longer accepts).
+	TypeRecovery = "recovery"
 )
 
 // Event is one telemetry datum on a job's stream. It is a flat union over

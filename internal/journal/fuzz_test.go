@@ -1,0 +1,88 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReplay feeds arbitrary bytes — including every truncation of
+// a valid log, which the seed corpus spans — through Replay and Open. The
+// invariants, whatever the input:
+//
+//   - never a panic;
+//   - every reported problem is a typed *CorruptError;
+//   - every replayed record is valid (known kind, non-empty job ID) — no
+//     ghost jobs can reach a server's job table;
+//   - Open over the same bytes replays the same records and leaves an
+//     appendable journal.
+func FuzzJournalReplay(f *testing.F) {
+	valid := validLogBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte{})
+	f.Add([]byte("not a journal at all"))
+	f.Add(frameMagic[:])
+	torn := append([]byte{}, valid...)
+	torn[len(torn)/3] ^= 0xFF
+	f.Add(torn)
+	huge := append([]byte{}, frameMagic[:]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, cerrs := Replay(data)
+		for _, ce := range cerrs {
+			var typed *CorruptError
+			if !errors.As(error(ce), &typed) {
+				t.Fatalf("replay error %T is not *CorruptError", ce)
+			}
+		}
+		for i, r := range recs {
+			if err := r.validate(); err != nil {
+				t.Fatalf("replayed ghost record %d: %+v (%v)", i, r, err)
+			}
+		}
+
+		// Open agrees with Replay and leaves a usable journal behind.
+		path := filepath.Join(t.TempDir(), "journal.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, opened, _, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open over fuzzed bytes: %v", err)
+		}
+		defer j.Close()
+		if len(opened) != len(recs) {
+			t.Fatalf("Open replayed %d records, Replay %d", len(opened), len(recs))
+		}
+		if err := j.Append(Record{Kind: KindState, Job: "job-fuzz", State: "done"}); err != nil {
+			t.Fatalf("append after fuzzed open: %v", err)
+		}
+	})
+}
+
+// validLogBytes builds a well-formed multi-record journal in memory.
+func validLogBytes(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	for _, rec := range []Record{
+		{Kind: KindSubmitted, Job: "job-1", Request: json.RawMessage(`{"vdd":0.7}`), Fingerprint: "fp1"},
+		{Kind: KindState, Job: "job-1", State: "running"},
+		{Kind: KindState, Job: "job-1", State: "done", Result: json.RawMessage(`{"vdd":0.7}`)},
+		{Kind: KindSubmitted, Job: "job-2", Request: json.RawMessage(`{"vdd":0.8}`), Fingerprint: "fp2"},
+		{Kind: KindEvicted, Job: "job-1"},
+	} {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes()
+}

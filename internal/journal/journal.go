@@ -1,0 +1,418 @@
+// Package journal is the serving layer's crash-safety boundary: a
+// CRC-framed, fsync'd, atomically-rotated write-ahead log of job lifecycle
+// records. serd appends one record per lifecycle transition (submission
+// with the request spec and fingerprint, state changes, the terminal
+// result, eviction); after a SIGKILL, OOM, or power loss a restarted
+// daemon replays the log and rebuilds exactly the job registry the dead
+// process held, re-enqueuing what was queued and resuming what was running
+// from its fingerprint-keyed checkpoint.
+//
+// Robustness is the package contract, not an afterthought:
+//
+//   - Every frame is magic-delimited and CRC-checked. A corrupt or
+//     truncated record is skipped with a typed *CorruptError — never a
+//     panic, and never a lost tail: the scanner resynchronizes on the next
+//     frame magic, so one damaged record in the middle of the log costs
+//     exactly that record.
+//   - A torn tail write (the classic crash-mid-append) is detected and
+//     truncated on open, so the journal always reopens at a clean frame
+//     boundary.
+//   - Appends fsync before returning: an acknowledged record survives the
+//     next instant's power cut. A failed append returns a typed
+//     *WriteError so the caller can degrade (keep serving, flag lost
+//     durability) instead of crashing.
+//   - Rotation is atomic (temp file + rename in the same directory): a
+//     crash mid-rotation leaves the previous journal intact.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record kinds. A job's history is one KindSubmitted record followed by
+// KindState records (the last one wins on replay) and, when the server
+// expires it, one KindEvicted record that drops it from future replays.
+const (
+	// KindSubmitted carries the admitted request: its JSON spec, the
+	// configuration fingerprint, and the idempotency key.
+	KindSubmitted = "submitted"
+	// KindState carries a lifecycle transition (running, done, failed,
+	// canceled) plus the terminal error or result.
+	KindState = "state"
+	// KindEvicted marks a terminal job expired by the retention policy;
+	// replay discards the job entirely.
+	KindEvicted = "evicted"
+)
+
+// Record is one journal entry. It is a flat union over the record kinds —
+// unused fields stay zero and are omitted from the JSON payload.
+type Record struct {
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Job is the owning job ID; every record carries it.
+	Job string `json:"job"`
+	// TimeMs is the append wall time in Unix milliseconds.
+	TimeMs int64 `json:"t_ms,omitempty"`
+
+	// Submitted records.
+	Request        json.RawMessage `json:"request,omitempty"`
+	Fingerprint    string          `json:"fingerprint,omitempty"`
+	IdempotencyKey string          `json:"idempotency_key,omitempty"`
+
+	// State records.
+	State  string          `json:"state,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// validate rejects records that must never reach a replayer's job table —
+// the "ghost job" guard the fuzz target pins.
+func (r *Record) validate() error {
+	switch r.Kind {
+	case KindSubmitted, KindState, KindEvicted:
+	default:
+		return fmt.Errorf("unknown record kind %q", r.Kind)
+	}
+	if r.Job == "" {
+		return errors.New("record has no job ID")
+	}
+	return nil
+}
+
+// CorruptError reports one damaged region of a journal — a frame whose
+// magic, length, CRC, or payload failed validation. Replay skips the
+// region and continues; the caller counts these (obs) and moves on.
+type CorruptError struct {
+	// Path is the journal file ("" when replaying raw bytes).
+	Path string
+	// Offset is where the damaged region starts.
+	Offset int64
+	// Cause names what failed.
+	Cause error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("journal: corrupt record at offset %d: %v", e.Offset, e.Cause)
+	}
+	return fmt.Sprintf("journal: corrupt record in %s at offset %d: %v", e.Path, e.Offset, e.Cause)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Cause }
+
+// ErrClosed is the cause inside the *WriteError returned by appends to a
+// closed journal.
+var ErrClosed = errors.New("journal closed")
+
+// WriteError reports a failed durability operation — disk full, a dead
+// device, a closed journal. It is typed so the serving layer can degrade
+// to lossy mode (keep serving, flag the lost durability on /readyz)
+// instead of crashing.
+type WriteError struct {
+	// Op is the operation that failed ("append", "rotate", "open").
+	Op string
+	// Path is the journal file.
+	Path string
+	// Cause is the underlying failure.
+	Cause error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("journal: %s %s: %v", e.Op, e.Path, e.Cause)
+}
+
+func (e *WriteError) Unwrap() error { return e.Cause }
+
+// Frame layout: magic (4) | payload length (4, LE) | payload CRC32-C (4,
+// LE) | payload. The magic opens with a non-ASCII byte so JSON payload
+// bytes can never alias a frame boundary during resynchronization.
+var frameMagic = [4]byte{0xF1, 'J', 'L', '1'}
+
+const headerSize = 12
+
+// MaxRecordBytes caps one record's payload — far above any real job
+// record, low enough that a corrupted length field cannot make the scanner
+// swallow the rest of the file as one frame.
+const MaxRecordBytes = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame renders one record in frame format.
+func encodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("encode record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("record payload %d bytes exceeds cap %d", len(payload), MaxRecordBytes)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	copy(frame, frameMagic[:])
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.Checksum(payload, castagnoli))
+	copy(frame[headerSize:], payload)
+	return frame, nil
+}
+
+// Replay decodes every valid record in buf, in order. Damaged regions —
+// bad magic, an absurd length, a CRC mismatch, a truncated tail, invalid
+// JSON, an invalid record — are reported as typed *CorruptError values and
+// skipped: the scanner resynchronizes on the next frame magic, so records
+// after a corrupt one are still recovered. Replay never panics, whatever
+// the input.
+func Replay(buf []byte) ([]Record, []*CorruptError) {
+	recs, cerrs, _ := scan("", buf)
+	return recs, cerrs
+}
+
+// scan is Replay plus the offset after the last valid frame, which Open
+// uses to truncate a torn tail.
+func scan(path string, buf []byte) ([]Record, []*CorruptError, int64) {
+	var recs []Record
+	var cerrs []*CorruptError
+	bad := func(at int, cause error) {
+		cerrs = append(cerrs, &CorruptError{Path: path, Offset: int64(at), Cause: cause})
+	}
+	// resync returns the next frame-magic offset strictly after from, or
+	// -1 when none remains.
+	resync := func(from int) int {
+		i := bytes.Index(buf[from+1:], frameMagic[:])
+		if i < 0 {
+			return -1
+		}
+		return from + 1 + i
+	}
+	off, lastGood := 0, 0
+	for off < len(buf) {
+		if !bytes.HasPrefix(buf[off:], frameMagic[:]) {
+			bad(off, errors.New("bad frame magic"))
+			if off = resync(off); off < 0 {
+				return recs, cerrs, int64(lastGood)
+			}
+			continue
+		}
+		if len(buf)-off < headerSize {
+			bad(off, errors.New("truncated frame header"))
+			return recs, cerrs, int64(lastGood)
+		}
+		n := binary.LittleEndian.Uint32(buf[off+4:])
+		if n > MaxRecordBytes {
+			bad(off, fmt.Errorf("frame length %d exceeds cap %d", n, MaxRecordBytes))
+			if off = resync(off); off < 0 {
+				return recs, cerrs, int64(lastGood)
+			}
+			continue
+		}
+		end := off + headerSize + int(n)
+		if end > len(buf) {
+			bad(off, fmt.Errorf("truncated frame: need %d bytes, have %d", headerSize+int(n), len(buf)-off))
+			if off = resync(off); off < 0 {
+				return recs, cerrs, int64(lastGood)
+			}
+			continue
+		}
+		payload := buf[off+headerSize : end]
+		if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(buf[off+8:]); got != want {
+			bad(off, fmt.Errorf("CRC mismatch: computed %08x, stored %08x", got, want))
+			off = end
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			bad(off, fmt.Errorf("invalid payload: %w", err))
+			off = end
+			continue
+		}
+		if err := rec.validate(); err != nil {
+			bad(off, err)
+			off = end
+			continue
+		}
+		recs = append(recs, rec)
+		off = end
+		lastGood = off
+	}
+	return recs, cerrs, int64(lastGood)
+}
+
+// ReplayStats summarizes what Open found in an existing journal.
+type ReplayStats struct {
+	// Records is how many valid records replayed.
+	Records int
+	// Errors holds one *CorruptError per damaged region skipped.
+	Errors []*CorruptError
+	// TruncatedTail is how many torn-tail bytes Open cut so the journal
+	// reopens at a clean frame boundary (0 for a clean file).
+	TruncatedTail int64
+}
+
+// Journal is an open, appendable log. All methods are safe for concurrent
+// use. Construct with Open.
+type Journal struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+// Open opens (or creates) the journal at path, replays every valid record,
+// and positions the file for appends. Damaged regions are skipped and
+// reported in the stats — corruption never fails Open. A torn tail (bytes
+// after the last valid frame with no valid frame among them) is truncated
+// so appends extend a clean boundary; damage in the middle of the file is
+// left in place (later valid records are past it) and compacted away by
+// the next Rotate.
+func Open(path string) (*Journal, []Record, ReplayStats, error) {
+	var stats ReplayStats
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, stats, &WriteError{Op: "open", Path: path, Cause: err}
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, stats, &WriteError{Op: "open", Path: path, Cause: err}
+	}
+	recs, cerrs, lastGood := scan(path, buf)
+	stats.Records = len(recs)
+	stats.Errors = cerrs
+	if lastGood < int64(len(buf)) {
+		if err := f.Truncate(lastGood); err != nil {
+			f.Close()
+			return nil, nil, stats, &WriteError{Op: "open", Path: path, Cause: err}
+		}
+		stats.TruncatedTail = int64(len(buf)) - lastGood
+	}
+	if _, err := f.Seek(lastGood, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, stats, &WriteError{Op: "open", Path: path, Cause: err}
+	}
+	return &Journal{path: path, f: f, size: lastGood}, recs, stats, nil
+}
+
+// Append frames rec, writes it, and fsyncs before returning: an
+// acknowledged append is on stable storage. Any failure — including an
+// append to a closed journal — returns a *WriteError; the file may then
+// hold a torn frame, which the next Open detects and truncates.
+func (j *Journal) Append(rec Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return &WriteError{Op: "append", Path: j.path, Cause: err}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return &WriteError{Op: "append", Path: j.path, Cause: ErrClosed}
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return &WriteError{Op: "append", Path: j.path, Cause: err}
+	}
+	if err := j.f.Sync(); err != nil {
+		return &WriteError{Op: "append", Path: j.path, Cause: err}
+	}
+	j.size += int64(len(frame))
+	return nil
+}
+
+// Size returns the journal's current byte size — the caller's rotation
+// trigger.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Path returns the backing file path.
+func (j *Journal) Path() string { return j.path }
+
+// Rotate atomically replaces the journal with a compacted one holding
+// exactly the live records: they are framed into a temp file in the same
+// directory, fsync'd, and renamed over the old log, so a crash at any
+// instant leaves either the old or the new journal intact — never a mix.
+// Rotation drops accumulated dead records and any corrupt regions.
+func (j *Journal) Rotate(live []Record) error {
+	var buf bytes.Buffer
+	for _, rec := range live {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+		}
+		buf.Write(frame)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return &WriteError{Op: "rotate", Path: j.path, Cause: ErrClosed}
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+	}
+	tmpName := tmp.Name()
+	fail := func(cause error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return &WriteError{Op: "rotate", Path: j.path, Cause: cause}
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+	}
+	if err := os.Rename(tmpName, j.path); err != nil {
+		os.Remove(tmpName)
+		return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+	}
+	// Make the rename itself durable (best-effort: not every filesystem
+	// supports directory fsync).
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename landed but we lost our handle; the journal on disk is
+		// valid, so surface the error and leave the old (now-orphaned)
+		// handle in place for further appends to fail loudly.
+		return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return &WriteError{Op: "rotate", Path: j.path, Cause: err}
+	}
+	j.f.Close()
+	j.f = nf
+	j.size = int64(buf.Len())
+	return nil
+}
+
+// Close closes the journal; later appends fail with a *WriteError wrapping
+// ErrClosed. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.f.Close(); err != nil {
+		return &WriteError{Op: "close", Path: j.path, Cause: err}
+	}
+	return nil
+}

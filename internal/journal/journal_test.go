@@ -1,0 +1,301 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testRecords builds a small deterministic job history.
+func testRecords(n int) []Record {
+	var out []Record
+	for i := 0; i < n; i++ {
+		id := "job-" + string(rune('1'+i))
+		out = append(out,
+			Record{Kind: KindSubmitted, Job: id, TimeMs: int64(1000 + i),
+				Request: json.RawMessage(`{"vdd":0.7}`), Fingerprint: "fp-" + id, IdempotencyKey: "fp-" + id},
+			Record{Kind: KindState, Job: id, State: "running"},
+			Record{Kind: KindState, Job: id, State: "done",
+				Result: json.RawMessage(`{"vdd":0.7,"alpha":{},"proton":{}}`)},
+		)
+	}
+	return out
+}
+
+// writeJournal appends recs to a fresh journal at path and closes it.
+func writeJournal(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	j, replayed, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(replayed) != 0 || len(stats.Errors) != 0 {
+		t.Fatalf("fresh journal replayed %d records, %d errors", len(replayed), len(stats.Errors))
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestAppendReplayRoundTrip checks that every appended record replays
+// byte-identically, in order, with no corruption reported.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	want := testRecords(3)
+	writeJournal(t, path, want)
+
+	j, got, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j.Close()
+	if len(stats.Errors) != 0 || stats.TruncatedTail != 0 {
+		t.Fatalf("clean journal reported damage: %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		gb, _ := json.Marshal(got[i])
+		wb, _ := json.Marshal(want[i])
+		if string(gb) != string(wb) {
+			t.Errorf("record %d: got %s, want %s", i, gb, wb)
+		}
+	}
+	if j.Size() == 0 {
+		t.Error("Size() = 0 after appends")
+	}
+}
+
+// TestCorruptMiddleRecordSkippedTailSurvives is the resynchronization
+// contract: flipping payload bytes of a middle record loses exactly that
+// record — everything before AND after it still replays, and the damage is
+// a typed *CorruptError.
+func TestCorruptMiddleRecordSkippedTailSurvives(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	want := testRecords(3) // 9 records
+	writeJournal(t, path, want)
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of the 5th frame (a middle record): walk frames
+	// by their length headers, then flip a payload byte.
+	off := 0
+	for i := 0; i < 4; i++ {
+		off += headerSize + int(binary.LittleEndian.Uint32(buf[off+4:]))
+	}
+	buf[off+headerSize] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, cerrs := Replay(buf)
+	if len(recs) != len(want)-1 {
+		t.Fatalf("replayed %d records, want %d (one corrupted)", len(recs), len(want)-1)
+	}
+	if len(cerrs) != 1 {
+		t.Fatalf("corrupt errors = %d, want 1: %v", len(cerrs), cerrs)
+	}
+	var ce *CorruptError
+	if !errors.As(error(cerrs[0]), &ce) {
+		t.Fatalf("error %T is not *CorruptError", cerrs[0])
+	}
+	// The 4 records before and 4 after the damaged one survive, in order.
+	for i, r := range recs {
+		wi := i
+		if i >= 4 {
+			wi = i + 1
+		}
+		if r.Job != want[wi].Job || r.Kind != want[wi].Kind {
+			t.Errorf("record %d = %s/%s, want %s/%s", i, r.Kind, r.Job, want[wi].Kind, want[wi].Job)
+		}
+	}
+
+	// Open agrees, counts the damage, and stays appendable.
+	j, got, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open over corruption: %v", err)
+	}
+	defer j.Close()
+	if len(got) != len(want)-1 || len(stats.Errors) != 1 {
+		t.Fatalf("Open replayed %d records with %d errors, want %d and 1", len(got), len(stats.Errors), len(want)-1)
+	}
+	if err := j.Append(Record{Kind: KindState, Job: "job-3", State: "canceled"}); err != nil {
+		t.Fatalf("append after corruption: %v", err)
+	}
+}
+
+// TestTornTailTruncatedOnOpen checks the crash-mid-append story: a partial
+// final frame is detected, reported, and truncated so the journal reopens
+// at a clean boundary and appends cleanly.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	want := testRecords(2) // 6 records
+	writeJournal(t, path, want)
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last frame: drop its final 3 bytes.
+	torn := buf[:len(buf)-3]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, got, stats, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open over torn tail: %v", err)
+	}
+	if len(got) != len(want)-1 {
+		t.Fatalf("replayed %d records, want %d (last torn)", len(got), len(want)-1)
+	}
+	if stats.TruncatedTail == 0 {
+		t.Error("TruncatedTail = 0, want the torn bytes cut")
+	}
+	if len(stats.Errors) != 1 {
+		t.Errorf("errors = %d, want 1 (the torn frame)", len(stats.Errors))
+	}
+	if err := j.Append(want[len(want)-1]); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	j.Close()
+
+	// The re-appended record replays cleanly.
+	j2, got2, stats2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(got2) != len(want) || len(stats2.Errors) != 0 {
+		t.Fatalf("after repair: %d records, %d errors, want %d and 0", len(got2), len(stats2.Errors), len(want))
+	}
+}
+
+// TestEveryTruncationYieldsUsablePrefix replays every possible truncation
+// of a valid log: each must yield some prefix of the original records and
+// never a panic or an invented record.
+func TestEveryTruncationYieldsUsablePrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	want := testRecords(2)
+	writeJournal(t, path, want)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		recs, _ := Replay(buf[:cut])
+		if len(recs) > len(want) {
+			t.Fatalf("cut %d: %d records from a %d-record log", cut, len(recs), len(want))
+		}
+		for i, r := range recs {
+			if r.Job != want[i].Job || r.Kind != want[i].Kind {
+				t.Fatalf("cut %d: record %d = %s/%s, want prefix record %s/%s",
+					cut, i, r.Kind, r.Job, want[i].Kind, want[i].Job)
+			}
+		}
+	}
+}
+
+// TestRotateCompacts checks atomic rotation: the journal is replaced by
+// exactly the live records, old bulk is gone, and appends continue.
+func TestRotateCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords(3) {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := j.Size()
+
+	live := []Record{
+		{Kind: KindSubmitted, Job: "job-3", Request: json.RawMessage(`{"vdd":0.7}`), Fingerprint: "fp-job-3"},
+		{Kind: KindState, Job: "job-3", State: "done", Result: json.RawMessage(`{}`)},
+	}
+	if err := j.Rotate(live); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if j.Size() >= before {
+		t.Errorf("Size after rotation %d, want < %d", j.Size(), before)
+	}
+	if err := j.Append(Record{Kind: KindEvicted, Job: "job-3"}); err != nil {
+		t.Fatalf("append after rotation: %v", err)
+	}
+	j.Close()
+
+	_, got, stats, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Errors) != 0 {
+		t.Fatalf("rotated journal has damage: %v", stats.Errors)
+	}
+	if len(got) != 3 || got[0].Job != "job-3" || got[2].Kind != KindEvicted {
+		t.Fatalf("rotated replay = %+v, want the 2 live records plus the appended eviction", got)
+	}
+}
+
+// TestAppendAfterCloseIsTypedWriteError checks the degraded-mode seam: a
+// closed journal refuses appends with a *WriteError wrapping ErrClosed,
+// never a panic.
+func TestAppendAfterCloseIsTypedWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v, want idempotent nil", err)
+	}
+	err = j.Append(Record{Kind: KindState, Job: "job-1", State: "done"})
+	var we *WriteError
+	if !errors.As(err, &we) || !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want *WriteError wrapping ErrClosed", err)
+	}
+	if err := j.Rotate(nil); !errors.As(err, &we) {
+		t.Fatalf("rotate after close = %v, want *WriteError", err)
+	}
+}
+
+// TestInvalidRecordsNeverReplay checks the ghost-job guard: frames whose
+// payload is valid JSON but not a valid record (unknown kind, missing job
+// ID) are skipped as corrupt.
+func TestInvalidRecordsNeverReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindSubmitted, Job: "job-1", Request: json.RawMessage(`{}`)})
+	j.Append(Record{Kind: "mystery", Job: "job-9"})
+	j.Append(Record{Kind: KindState, Job: "", State: "done"})
+	j.Close()
+
+	_, got, stats, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Job != "job-1" {
+		t.Fatalf("replay = %+v, want only job-1", got)
+	}
+	if len(stats.Errors) != 2 {
+		t.Fatalf("errors = %d, want 2 (invalid kind, empty job)", len(stats.Errors))
+	}
+}

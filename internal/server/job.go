@@ -130,10 +130,13 @@ type JobStatus struct {
 	// Fingerprint is the result-determining configuration digest
 	// (finser.FlowFingerprint) — the key correlating this job with its
 	// checkpoint file, its log lines, and its event stream.
-	Fingerprint string     `json:"fingerprint,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	Result      *JobResult `json:"result,omitempty"`
-	Request     JobRequest `json:"request"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Recovered marks a job rebuilt from the durable journal after a
+	// restart rather than admitted over the API in this process.
+	Recovered bool       `json:"recovered,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Request   JobRequest `json:"request"`
 }
 
 // job is the server-internal record. The owning Server's mutex guards all
@@ -155,6 +158,11 @@ type job struct {
 
 	// fingerprint is the FlowFingerprint digest, computed at admission.
 	fingerprint string
+	// idemKey is the idempotency key this job was admitted under ("" when
+	// dedupe is off); it indexes the server's idem table.
+	idemKey string
+	// recovered marks a job rebuilt from the journal after a restart.
+	recovered bool
 	// events is the job's live telemetry stream, created at admission and
 	// closed at finalization so SSE clients see a clean end-of-stream.
 	events *events.Stream
@@ -178,6 +186,7 @@ func (j *job) status() JobStatus {
 		Retries:       j.retries.Load(),
 		ResumedStages: j.resumed,
 		Fingerprint:   j.fingerprint,
+		Recovered:     j.recovered,
 		Error:         j.err,
 		Result:        j.result,
 		Request:       j.req,

@@ -12,6 +12,17 @@
 // runs characterize → alpha FIT → proton FIT, every stage under the retry
 // policy, and each species stage behind its own circuit breaker so a
 // workload class that keeps failing is shed without burning workers on it.
+//
+// With Config.DataDir set the job layer is durable: every lifecycle
+// transition is appended to a CRC-framed fsync'd journal
+// (internal/journal), and Recover — called between New and Start — replays
+// it after a crash, restoring terminal jobs with their results,
+// re-enqueuing jobs that were queued, and re-running jobs that were mid-
+// flight from their fingerprint-keyed checkpoints so the recovered FIT is
+// bit-identical to an uninterrupted run. Durable servers also dedupe
+// retried submissions by idempotency key (defaulting to the flow
+// fingerprint), and a failing journal disk degrades serving — /readyz
+// reports lost durability — instead of crashing it.
 package server
 
 import (
@@ -34,6 +45,7 @@ import (
 	"finser/internal/dist"
 	"finser/internal/events"
 	"finser/internal/faultinject"
+	"finser/internal/journal"
 	"finser/internal/obs"
 	"finser/internal/retry"
 )
@@ -59,6 +71,9 @@ const (
 	// enough to defeat common idle-connection timeouts, rare enough to cost
 	// nothing.
 	DefaultHeartbeat = 15 * time.Second
+	// DefaultJournalMaxBytes is the journal size past which the retention
+	// sweeper compacts it by atomic rotation.
+	DefaultJournalMaxBytes = 4 << 20
 )
 
 // speciesStages are the per-species workload classes, each behind its own
@@ -139,6 +154,20 @@ type Config struct {
 	// job fingerprints kept warm for shard requests). Zero selects
 	// DefaultCharCache.
 	CharCache int
+	// DataDir, when non-empty, makes the job layer durable: a write-ahead
+	// journal of job lifecycle records lives under it (journal.wal), and —
+	// unless CheckpointDir is set — per-job checkpoints default to its
+	// checkpoints/ subdirectory. Call Recover between New and Start to
+	// replay the journal; without that call the journal stays disabled.
+	DataDir string
+	// JobTTL evicts terminal jobs from the in-memory registry (and their
+	// orphaned checkpoint files from disk) this long after they finish, so
+	// sustained traffic cannot grow the job map without bound. Zero keeps
+	// terminal jobs forever.
+	JobTTL time.Duration
+	// JournalMaxBytes triggers compacting journal rotation once the log
+	// exceeds it. Zero selects DefaultJournalMaxBytes.
+	JournalMaxBytes int64
 }
 
 // Distributor runs one job's FIT across a remote worker pool. It is the
@@ -167,9 +196,16 @@ type Server struct {
 	shardSem chan struct{}
 	chars    *charCache
 
+	// journal is the durable job log (nil until Recover enables it).
+	// degradedErr holds the latest journal write failure while durability
+	// is degraded, nil while healthy.
+	journal     *journal.Journal
+	degradedErr atomic.Pointer[string]
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
+	idem     map[string]string // idempotency key → job ID
 	nextID   int
 	draining bool
 	baseCtx  context.Context
@@ -193,6 +229,12 @@ func New(cfg Config) *Server {
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = DefaultHeartbeat
 	}
+	if cfg.JournalMaxBytes <= 0 {
+		cfg.JournalMaxBytes = DefaultJournalMaxBytes
+	}
+	if cfg.DataDir != "" && cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = filepath.Join(cfg.DataDir, "checkpoints")
+	}
 	baseCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -200,6 +242,7 @@ func New(cfg Config) *Server {
 		queue:    make(chan *job, cfg.QueueDepth),
 		breakers: map[string]*breaker.Breaker{},
 		jobs:     map[string]*job{},
+		idem:     map[string]string{},
 		baseCtx:  baseCtx,
 		stop:     stop,
 		started:  time.Now(),
@@ -244,7 +287,364 @@ func (s *Server) newBreaker(name string) *breaker.Breaker {
 	return breaker.New(bc)
 }
 
-// Start launches the worker pool. Call once.
+// RecoveryStats summarizes one journal replay.
+type RecoveryStats struct {
+	// Requeued is how many non-terminal jobs went back on the queue (jobs
+	// that were mid-flight resume from their checkpoints when they run).
+	Requeued int
+	// RestoredTerminal is how many finished jobs were restored with their
+	// recorded state and result.
+	RestoredTerminal int
+	// Invalid is how many journaled specs failed re-validation (or could
+	// not be decoded); the decodable ones are restored as failed jobs so
+	// clients polling them get an answer.
+	Invalid int
+	// Evicted is how many journaled jobs were dropped because an eviction
+	// record retired them.
+	Evicted int
+	// CorruptRecords is how many damaged journal regions were skipped
+	// (each one also counted on the serd/journal/corrupt_records metric).
+	CorruptRecords int
+}
+
+// Recover opens the DataDir journal and rebuilds the job registry a dead
+// process left behind: terminal jobs come back queryable with their
+// results, queued and mid-flight jobs go back on the queue (the latter
+// resume from their fingerprint-keyed checkpoints, reproducing the
+// uninterrupted FIT bit-identically), and the idempotency table is rebuilt
+// so client retries of pre-crash submissions dedupe instead of
+// double-running. Every replayed spec goes through the same validation
+// path as a fresh submission — the guard policy is re-attached, and a spec
+// the current server no longer accepts is restored as a failed job rather
+// than run. Corrupt journal records are skipped and counted, never fatal;
+// only an unopenable journal fails Recover. Call between New and Start;
+// without DataDir it is a no-op.
+func (s *Server) Recover() (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.cfg.DataDir == "" {
+		return stats, nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return stats, err
+	}
+	if s.cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+			return stats, err
+		}
+	}
+	jnl, recs, rst, err := journal.Open(filepath.Join(s.cfg.DataDir, "journal.wal"))
+	if err != nil {
+		return stats, err
+	}
+	s.journal = jnl
+	stats.CorruptRecords = len(rst.Errors)
+	s.reg.Counter("serd/journal/replayed_records").Add(int64(rst.Records))
+	s.reg.Counter("serd/journal/corrupt_records").Add(int64(len(rst.Errors)))
+	for _, ce := range rst.Errors {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("journal record skipped", "error", ce.Error())
+		}
+	}
+
+	// Fold the record sequence into one latest-state entry per job.
+	type folded struct {
+		sub     *journal.Record
+		state   string
+		errMsg  string
+		result  json.RawMessage
+		lastMs  int64
+		evicted bool
+	}
+	byJob := map[string]*folded{}
+	var ord []string
+	for i := range recs {
+		r := &recs[i]
+		switch r.Kind {
+		case journal.KindSubmitted:
+			if _, dup := byJob[r.Job]; dup {
+				continue // first submission wins; a duplicate is journal damage
+			}
+			byJob[r.Job] = &folded{sub: r}
+			ord = append(ord, r.Job)
+		case journal.KindState:
+			f := byJob[r.Job]
+			if f == nil {
+				// A state record whose submission was lost to corruption
+				// must never materialize a ghost job.
+				s.reg.Counter("serd/recovery/orphan_records").Inc()
+				continue
+			}
+			f.state, f.errMsg, f.lastMs = r.State, r.Error, r.TimeMs
+			if len(r.Result) > 0 {
+				f.result = r.Result
+			}
+		case journal.KindEvicted:
+			if f := byJob[r.Job]; f != nil {
+				f.evicted = true
+			}
+		}
+	}
+
+	var requeue []*job
+	maxID := 0
+	s.mu.Lock()
+	for _, id := range ord {
+		f := byJob[id]
+		if f.evicted {
+			stats.Evicted++
+			continue
+		}
+		var n int
+		if _, serr := fmt.Sscanf(id, "job-%d", &n); serr == nil && n > maxID {
+			maxID = n
+		}
+		var req JobRequest
+		if uerr := json.Unmarshal(f.sub.Request, &req); uerr != nil {
+			stats.Invalid++
+			s.reg.Counter("serd/recovery/invalid_specs").Inc()
+			continue
+		}
+		j := &job{
+			id:          id,
+			req:         req,
+			submitted:   time.UnixMilli(f.sub.TimeMs),
+			fingerprint: f.sub.Fingerprint,
+			idemKey:     f.sub.IdempotencyKey,
+			recovered:   true,
+		}
+		j.events = events.NewStream(s.cfg.EventBuffer, func() {
+			s.reg.Counter("serd/events/dropped_subscribers").Inc()
+		})
+		j.log = obs.JobLogger(s.cfg.Logger, j.id, j.fingerprint)
+
+		// Replay goes through the same admission validation as a live
+		// submission: re-derive the flow config and re-attach the server's
+		// guard policy. A spec this server no longer accepts is restored as
+		// a failed job — queryable, never run.
+		cfg, cerr := req.flowConfig()
+		if cerr == nil {
+			cerr = cfg.Validate()
+		}
+		if cerr == nil && s.cfg.Distributor != nil && req.Workers <= 0 {
+			cerr = &RequestError{Field: "workers",
+				Reason: "must be pinned (> 0) for distributed execution: the Monte-Carlo substream split depends on it"}
+		}
+		switch {
+		case cerr != nil:
+			stats.Invalid++
+			s.reg.Counter("serd/recovery/invalid_specs").Inc()
+			j.state = StateFailed
+			j.err = "recovery re-validation: " + cerr.Error()
+			j.finished = time.Now()
+			s.publish(j, events.Event{Type: events.TypeRecovery, State: "failed-validation", Error: j.err})
+			s.publish(j, events.Event{Type: events.TypeState, State: string(StateFailed), Error: j.err})
+			j.events.Close()
+		case f.state == string(StateDone) && len(f.result) > 0 && json.Unmarshal(f.result, &j.result) == nil:
+			j.state = StateDone
+			j.finished = time.UnixMilli(f.lastMs)
+			stats.RestoredTerminal++
+			s.publish(j, events.Event{Type: events.TypeRecovery, State: "restored"})
+			s.publish(j, events.Event{Type: events.TypeState, State: string(StateDone)})
+			j.events.Close()
+		case f.state == string(StateFailed) || f.state == string(StateCanceled):
+			j.state = JobState(f.state)
+			j.err = f.errMsg
+			j.finished = time.UnixMilli(f.lastMs)
+			stats.RestoredTerminal++
+			s.publish(j, events.Event{Type: events.TypeRecovery, State: "restored"})
+			s.publish(j, events.Event{Type: events.TypeState, State: string(j.state), Error: j.err})
+			j.events.Close()
+		default:
+			// Queued, running, or done-with-unreadable-result: run it
+			// (again). Determinism makes the re-run idempotent, and the
+			// checkpoint store skips whatever already completed.
+			cfg.Guard = s.cfg.Guard
+			cfg.GuardLog = s.cfg.GuardLog
+			j.cfg = cfg
+			j.result = nil
+			requeue = append(requeue, j)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if j.idemKey != "" {
+			s.idem[j.idemKey] = id
+		}
+	}
+	if s.nextID < maxID {
+		s.nextID = maxID
+	}
+	if len(requeue) > 0 {
+		// Re-enqueued jobs must all fit regardless of the configured queue
+		// depth; safe to reallocate here because Start has not launched the
+		// workers yet.
+		s.queue = make(chan *job, s.cfg.QueueDepth+len(requeue))
+		for _, j := range requeue {
+			jctx, jcancel := context.WithCancel(s.baseCtx)
+			j.ctx, j.cancel = jctx, jcancel
+			j.state = StateQueued
+			s.queue <- j
+			stats.Requeued++
+			s.publish(j, events.Event{Type: events.TypeRecovery, State: "requeued"})
+			s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
+			j.logInfo("job recovered from journal", "requeued", true)
+		}
+	}
+	s.mu.Unlock()
+
+	s.reg.Counter("serd/recovery/requeued").Add(int64(stats.Requeued))
+	s.reg.Counter("serd/recovery/terminal_restored").Add(int64(stats.RestoredTerminal))
+	// Compact immediately: the rewritten journal drops corrupt regions,
+	// evicted jobs, and stale intermediate state records.
+	if rst.Records > 0 || len(rst.Errors) > 0 {
+		s.rotateJournal()
+	}
+	return stats, nil
+}
+
+// Kill crash-stops the server: the journal is closed first so no terminal
+// record can land, then every job context is cut and the workers are
+// awaited. On disk this is indistinguishable from a SIGKILL mid-run —
+// which is exactly what the chaos tests use it for. Production shutdown
+// is Drain; Kill is the unclean path.
+func (s *Server) Kill() {
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// sweepLoop periodically evicts expired terminal jobs and compacts the
+// journal; it exits when the server's base context is cut (Drain/Kill).
+func (s *Server) sweepLoop() {
+	interval := s.cfg.JobTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			s.evictExpired(time.Now())
+			if s.journal != nil && s.journal.Size() > s.cfg.JournalMaxBytes {
+				s.rotateJournal()
+			}
+		}
+	}
+}
+
+// evictExpired removes terminal jobs older than JobTTL from the registry,
+// journals the eviction (so replay does not resurrect them), and garbage-
+// collects their checkpoint files when no surviving job shares the
+// fingerprint. Returns how many jobs were evicted.
+func (s *Server) evictExpired(now time.Time) int {
+	ttl := s.cfg.JobTTL
+	if ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	var evicted []*job
+	keep := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.Terminal() && !j.finished.IsZero() && now.Sub(j.finished) >= ttl {
+			evicted = append(evicted, j)
+			delete(s.jobs, id)
+			if j.idemKey != "" && s.idem[j.idemKey] == id {
+				delete(s.idem, j.idemKey)
+			}
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+	liveFP := map[string]bool{}
+	for _, id := range s.order {
+		if fp := s.jobs[id].fingerprint; fp != "" {
+			liveFP[fp] = true
+		}
+	}
+	s.mu.Unlock()
+
+	for _, j := range evicted {
+		s.journalAppend(journal.Record{Kind: journal.KindEvicted, Job: j.id})
+		s.reg.Counter("serd/jobs/evicted").Inc()
+		if path := s.checkpointPath(j.fingerprint); path != "" && !liveFP[j.fingerprint] {
+			if err := os.Remove(path); err == nil {
+				s.reg.Counter("serd/checkpoints/gc").Inc()
+			}
+		}
+		j.logInfo("job evicted", "age_seconds", now.Sub(j.finished).Seconds())
+	}
+	return len(evicted)
+}
+
+// checkpointPath returns the fingerprint-keyed checkpoint file for fp, or
+// "" when checkpointing is off or the fingerprint is unusable.
+func (s *Server) checkpointPath(fp string) string {
+	if s.cfg.CheckpointDir == "" || len(fp) < 16 {
+		return ""
+	}
+	return filepath.Join(s.cfg.CheckpointDir, "ser-"+fp[:16]+".ck.json")
+}
+
+// rotateJournal atomically compacts the journal down to the live job
+// registry — one submitted record per job plus its latest state.
+func (s *Server) rotateJournal() {
+	if s.journal == nil {
+		return
+	}
+	s.mu.Lock()
+	live := make([]journal.Record, 0, 2*len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		reqJSON, err := json.Marshal(j.req)
+		if err != nil {
+			continue
+		}
+		live = append(live, journal.Record{
+			Kind: journal.KindSubmitted, Job: j.id, TimeMs: j.submitted.UnixMilli(),
+			Request: reqJSON, Fingerprint: j.fingerprint, IdempotencyKey: j.idemKey,
+		})
+		if j.state == StateQueued {
+			continue
+		}
+		rec := journal.Record{
+			Kind: journal.KindState, Job: j.id, State: string(j.state), Error: j.err,
+			TimeMs: j.finished.UnixMilli(),
+		}
+		if j.state == StateDone && j.result != nil {
+			if res, rerr := json.Marshal(j.result); rerr == nil {
+				rec.Result = res
+			}
+		}
+		live = append(live, rec)
+	}
+	s.mu.Unlock()
+	if err := s.journal.Rotate(live); err != nil {
+		s.reg.Counter("serd/journal/write_failures").Inc()
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("journal rotation failed", "error", err.Error())
+		}
+		return
+	}
+	s.reg.Counter("serd/journal/rotations").Inc()
+}
+
+// Start launches the worker pool (and, with JobTTL set, the retention
+// sweeper). Call once, after any Recover.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -253,6 +653,13 @@ func (s *Server) Start() {
 			for j := range s.queue {
 				s.runJob(j)
 			}
+		}()
+	}
+	if s.cfg.JobTTL > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.sweepLoop()
 		}()
 	}
 }
@@ -264,18 +671,31 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // or ErrDraining / ErrQueueFull when admission is shut, or a 400-class
 // validation error (*RequestError / *finser.ConfigError).
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
+	st, _, err := s.SubmitIdem(req, "")
+	return st, err
+}
+
+// SubmitIdem is Submit with an idempotency key: when the key (or, on a
+// durable server, its default — the flow fingerprint) matches a job that
+// is queued, running, or done, the original job's status is returned with
+// deduped=true instead of admitting a double-run. A client whose first
+// submission's response was lost to a crash retries safely: it lands on
+// the same job and, once that finishes, on its result. Failed and canceled
+// originals do not dedupe — resubmitting one is an explicit "try again"
+// (it still resumes from the original's checkpoint).
+func (s *Server) SubmitIdem(req JobRequest, idemKey string) (JobStatus, bool, error) {
 	cfg, err := req.flowConfig()
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, false, err
 	}
 	// A distributed run is bit-identical to single-node only under a pinned
 	// worker count (the per-bin RNG substream split depends on it), so
 	// coordinator mode refuses the "whatever GOMAXPROCS is" default.
 	if s.cfg.Distributor != nil && req.Workers <= 0 {
-		return JobStatus{}, &RequestError{Field: "workers",
+		return JobStatus{}, false, &RequestError{Field: "workers",
 			Reason: "must be pinned (> 0) for distributed execution: the Monte-Carlo substream split depends on it"}
 	}
 	// The guard configuration is the server's policy, not the client's:
@@ -284,22 +704,45 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	cfg.Guard = s.cfg.Guard
 	cfg.GuardLog = s.cfg.GuardLog
 
+	// The fingerprint keys the job's checkpoint file, serves as the default
+	// idempotency key, and correlates its log lines, metrics, and event
+	// stream; cfg already validated, so this cannot fail — but a failure
+	// only costs the correlation key.
+	fingerprint := ""
+	if fp, ferr := finser.FlowFingerprint(cfg, []float64{cfg.Vdd}); ferr == nil {
+		fingerprint = fp
+	}
+	if idemKey == "" && s.journal != nil {
+		idemKey = fingerprint
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			if j, ok := s.jobs[id]; ok && j.state != StateFailed && j.state != StateCanceled {
+				s.reg.Counter("serd/jobs/deduped").Inc()
+				j.logInfo("submission deduped to existing job", "idempotency_key", idemKey)
+				return j.status(), true, nil
+			}
+		}
+	}
 	if s.draining {
 		s.reg.Counter("serd/jobs/rejected_draining").Inc()
-		return JobStatus{}, ErrDraining
+		return JobStatus{}, false, ErrDraining
 	}
 	s.nextID++
 	jctx, jcancel := context.WithCancel(s.baseCtx)
 	j := &job{
-		id:        fmt.Sprintf("job-%d", s.nextID),
-		req:       req,
-		cfg:       cfg,
-		state:     StateQueued,
-		submitted: time.Now(),
-		cancel:    jcancel,
-		ctx:       jctx,
+		id:          fmt.Sprintf("job-%d", s.nextID),
+		req:         req,
+		cfg:         cfg,
+		state:       StateQueued,
+		submitted:   time.Now(),
+		cancel:      jcancel,
+		ctx:         jctx,
+		fingerprint: fingerprint,
+		idemKey:     idemKey,
 	}
 	select {
 	case s.queue <- j:
@@ -309,13 +752,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		s.nextID--
 		jcancel()
 		s.reg.Counter("serd/jobs/rejected_full").Inc()
-		return JobStatus{}, ErrQueueFull
-	}
-	// The fingerprint keys the job's checkpoint file and correlates its log
-	// lines, metrics, and event stream; cfg already validated, so this
-	// cannot fail — but a failure only costs the correlation key.
-	if fp, ferr := finser.FlowFingerprint(cfg, []float64{cfg.Vdd}); ferr == nil {
-		j.fingerprint = fp
+		return JobStatus{}, false, ErrQueueFull
 	}
 	j.events = events.NewStream(s.cfg.EventBuffer, func() {
 		s.reg.Counter("serd/events/dropped_subscribers").Inc()
@@ -323,11 +760,20 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	j.log = obs.JobLogger(s.cfg.Logger, j.id, j.fingerprint)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if idemKey != "" {
+		s.idem[idemKey] = j.id
+	}
+	if reqJSON, jerr := json.Marshal(req); jerr == nil {
+		s.journalAppend(journal.Record{
+			Kind: journal.KindSubmitted, Job: j.id, Request: reqJSON,
+			Fingerprint: j.fingerprint, IdempotencyKey: idemKey,
+		})
+	}
 	s.reg.Counter("serd/jobs/submitted").Inc()
 	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
 	s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
 	j.logInfo("job queued", "vdd", cfg.Vdd, "queue_depth", len(s.queue))
-	return j.status(), nil
+	return j.status(), false, nil
 }
 
 // publish stamps the job ID onto e and publishes it to the job's stream,
@@ -337,6 +783,47 @@ func (s *Server) publish(j *job, e events.Event) {
 	if j.events.Publish(e) != 0 {
 		s.reg.Counter("serd/events/published").Inc()
 	}
+}
+
+// journalAppend records one lifecycle transition in the durable journal,
+// stamping the wall time. Failures never propagate to the job: they flip
+// the server into degraded-durability mode (counted, flagged on /readyz,
+// warned once per episode) while serving continues; the first later
+// success — disk freed, device back — restores healthy mode. No-op
+// without a journal. Safe to call with or without s.mu held: the journal
+// has its own lock and never takes the server's.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.journal == nil {
+		return
+	}
+	rec.TimeMs = time.Now().UnixMilli()
+	if err := s.journal.Append(rec); err != nil {
+		s.reg.Counter("serd/journal/write_failures").Inc()
+		s.reg.Gauge("serd/journal/degraded").Set(1)
+		msg := err.Error()
+		if s.degradedErr.Swap(&msg) == nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("journal write failed: durability degraded, serving continues",
+				"error", msg)
+		}
+		return
+	}
+	s.reg.Counter("serd/journal/appends").Inc()
+	if s.degradedErr.Swap(nil) != nil {
+		s.reg.Gauge("serd/journal/degraded").Set(0)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("journal write succeeded: durability restored")
+		}
+	}
+}
+
+// DegradedDurability returns the latest journal write failure while the
+// server is serving without durability, or "" when the journal is healthy
+// (or absent).
+func (s *Server) DegradedDurability() string {
+	if msg := s.degradedErr.Load(); msg != nil {
+		return *msg
+	}
+	return ""
 }
 
 // latency returns one of the serving-layer latency histograms, with
@@ -418,6 +905,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Clean shutdown: every in-flight cancellation has journaled its
+		// terminal record, so the journal can close at a frame boundary.
+		if s.journal != nil {
+			s.journal.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain: %w", ctx.Err())
@@ -447,6 +939,7 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	defer func() { s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(-1))) }()
 	s.latency("queue_wait").Observe(queueWait.Seconds())
+	s.journalAppend(journal.Record{Kind: journal.KindState, Job: j.id, State: string(StateRunning)})
 	s.publish(j, events.Event{Type: events.TypeState, State: string(StateRunning)})
 	j.logInfo("job running", "queue_wait_seconds", queueWait.Seconds())
 	s.instrumentFlow(j)
@@ -542,6 +1035,15 @@ func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
 	case StateCanceled:
 		s.reg.Counter("serd/jobs/canceled").Inc()
 	}
+	// The terminal record carries the result, so a post-crash replay can
+	// restore a finished job without re-running it.
+	rec := journal.Record{Kind: journal.KindState, Job: j.id, State: string(state), Error: msg}
+	if state == StateDone && j.result != nil {
+		if res, rerr := json.Marshal(j.result); rerr == nil {
+			rec.Result = res
+		}
+	}
+	s.journalAppend(rec)
 	// Terminal event, then close: subscribers drain the final transition
 	// and see a clean end-of-stream.
 	s.publish(j, events.Event{Type: events.TypeState, State: string(state), Error: msg})
@@ -748,8 +1250,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	st, err := s.Submit(req)
+	st, deduped, err := s.SubmitIdem(req, r.Header.Get("Idempotency-Key"))
 	switch {
+	case err == nil && deduped:
+		// The job already exists: 200 (not 202) tells the retrying client
+		// nothing new was admitted.
+		writeJSON(w, http.StatusOK, st)
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrQueueFull):
@@ -857,6 +1363,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			s.writeUnavailable(w, err.Error())
 			return
 		}
+	}
+	// Degraded durability is a warning, not an outage: the server still
+	// accepts and runs jobs, but a crash in this window would lose
+	// unjournaled lifecycle records, so orchestrators get the signal.
+	if msg := s.DegradedDurability(); msg != "" {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status":     "degraded",
+			"durability": msg,
+		})
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
