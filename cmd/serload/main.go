@@ -19,6 +19,19 @@
 //
 // Every submission gets a distinct seed, so checkpoint fingerprints never
 // collide and each job is real work.
+//
+// Multi-tenant runs: -tenants assigns traffic to named tenants with a
+// per-tenant QoS-class mix, e.g.
+//
+//	serload -tenants "ui=interactive:1,bulk=batch:8" -rate 10 -duration 30s
+//
+// Each submission then carries its tenant in the X-Tenant header and its
+// class (interactive|batch) in the body, and the report breaks latency
+// percentiles out per tenant × class plus per-tenant shed (503) and
+// over-budget (429) counts — the numbers that show whether serd's
+// weighted-fair queue actually isolated the interactive tenant from the
+// batch flood. Without -tenants every job is anonymous batch traffic and
+// the report keeps its single-tenant shape.
 package main
 
 import (
@@ -105,13 +118,78 @@ func pickClass(rng *rand.Rand, classes []jobClass) jobClass {
 	return classes[len(classes)-1]
 }
 
+// tenantArm is one tenant × QoS-class traffic source. tenant "" means
+// anonymous (no X-Tenant header, no class field — the single-tenant shape).
+type tenantArm struct {
+	tenant   string
+	qosClass string
+	weight   int
+}
+
+// parseTenants parses the -tenants syntax: comma-separated
+// tenant=class:weight[+class:weight] entries, e.g.
+// "ui=interactive:1,bulk=batch:8". A bare class (no :weight) weighs 1.
+func parseTenants(s string) ([]tenantArm, error) {
+	if strings.TrimSpace(s) == "" {
+		return []tenantArm{{weight: 1}}, nil
+	}
+	var arms []tenantArm
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, mix, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("malformed tenant entry %q (want tenant=class:weight+...)", entry)
+		}
+		for _, part := range strings.Split(mix, "+") {
+			class, wstr, weighted := strings.Cut(part, ":")
+			if class != "interactive" && class != "batch" {
+				return nil, fmt.Errorf("tenant %s: unknown class %q (want interactive or batch)", name, class)
+			}
+			w := 1
+			if weighted {
+				n, err := strconv.Atoi(wstr)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("tenant %s: bad weight in %q", name, part)
+				}
+				w = n
+			}
+			arms = append(arms, tenantArm{tenant: name, qosClass: class, weight: w})
+		}
+	}
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("empty -tenants")
+	}
+	return arms, nil
+}
+
+// pickArm draws one tenant × class source by weight.
+func pickArm(rng *rand.Rand, arms []tenantArm) tenantArm {
+	total := 0
+	for _, a := range arms {
+		total += a.weight
+	}
+	n := rng.Intn(total)
+	for _, a := range arms {
+		if n < a.weight {
+			return a
+		}
+		n -= a.weight
+	}
+	return arms[len(arms)-1]
+}
+
 // outcome is one accepted job's observed end.
 type outcome struct {
-	class   string
-	state   string
-	errMsg  string  // terminal error text for failed/canceled jobs
-	latency float64 // admission (POST sent) to terminal event, seconds
-	events  int64
+	class    string // workload preset (tiny/small)
+	tenant   string // "" for anonymous traffic
+	qosClass string // "" (anonymous) | interactive | batch
+	state    string
+	errMsg   string  // terminal error text for failed/canceled jobs
+	latency  float64 // admission (POST sent) to terminal event, seconds
+	events   int64
 }
 
 // failureReason buckets a failed job's terminal error into the categories
@@ -197,17 +275,40 @@ type report struct {
 	// counter above, so non-OK outcomes are never lumped together.
 	FailedReasons map[string]int `json:"failed_reasons,omitempty"`
 
+	// Rejected429 counts submissions refused by per-tenant policing (rate
+	// or quota) — distinct from Shed, which is global capacity. serload
+	// treats a 429 as terminal for that arrival: the tenant is over its
+	// budget and hammering the server would only confirm the limiter works.
+	Rejected429 int64 `json:"rejected_429,omitempty"`
+
 	EventsConsumed int64   `json:"events_consumed"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 
 	Latency  latencySummary            `json:"latency"`
 	PerClass map[string]latencySummary `json:"per_class"`
 
+	// PerTenant breaks the run out per tenant (only with -tenants): latency
+	// percentiles per QoS class plus the tenant's own shed/429 counts — the
+	// isolation evidence a fairness experiment reads.
+	Tenants   string                   `json:"tenants,omitempty"`
+	PerTenant map[string]*tenantReport `json:"per_tenant,omitempty"`
+
 	// ServerAdmissionToDone is serd's own admission-to-done histogram
 	// (bucket counts plus p50/p95/p99) scraped from /metrics at the end of
 	// the run — the server-side view to compare the client-observed
 	// percentiles against.
 	ServerAdmissionToDone *obs.HistogramSnapshot `json:"server_admission_to_done,omitempty"`
+}
+
+// tenantReport is one tenant's slice of the run.
+type tenantReport struct {
+	Accepted    int64 `json:"accepted"`
+	Shed        int64 `json:"shed"`
+	Rejected429 int64 `json:"rejected_429"`
+	Done        int   `json:"done"`
+	// PerClass is keyed by QoS class (interactive/batch) — the
+	// per-tenant latency percentiles the fairness experiment compares.
+	PerClass map[string]latencySummary `json:"per_class,omitempty"`
 }
 
 func main() {
@@ -219,7 +320,8 @@ func main() {
 		rate     = flag.Float64("rate", 2, "open-loop arrival rate, jobs/second")
 		duration = flag.Duration("duration", 15*time.Second, "how long to keep submitting")
 		mixStr   = flag.String("mix", "tiny=3,small=1", "weighted job mix, e.g. tiny=3,small=1")
-		outPath  = flag.String("out", "", "report file (default stdout)")
+		tenantsStr = flag.String("tenants", "", `per-tenant QoS traffic mix, e.g. "ui=interactive:1,bulk=batch:8"; empty = anonymous single-tenant traffic`)
+		outPath    = flag.String("out", "", "report file (default stdout)")
 		seed     = flag.Int64("seed", 1, "mix-choice and job-seed RNG seed")
 		jobWait  = flag.Duration("job-wait", 5*time.Minute, "how long to wait for in-flight jobs after the last submission")
 		resubmit = flag.Int("resubmit-budget", 2, "how many times one shed (503) submission honors Retry-After and resubmits before counting as a terminal shed; 0 never resubmits")
@@ -230,17 +332,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	arms, err := parseTenants(*tenantsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *rate <= 0 {
 		log.Fatal("-rate must be positive")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var (
-		submitted, accepted, shed, resubmitted, errs, eventsTotal atomic.Int64
-		mu                                                        sync.Mutex
-		outcomes                                                  []outcome
-		wg                                                        sync.WaitGroup
+		submitted, accepted, shed, resubmitted, rejected429, errs, eventsTotal atomic.Int64
+
+		mu          sync.Mutex
+		outcomes    []outcome
+		tenantSheds = map[string]*tenantReport{} // per-tenant shed/429, keyed by tenant
+		wg          sync.WaitGroup
 	)
+	tenantRep := func(tenant string) *tenantReport {
+		tr, ok := tenantSheds[tenant]
+		if !ok {
+			tr = &tenantReport{}
+			tenantSheds[tenant] = tr
+		}
+		return tr
+	}
 
 	start := time.Now()
 	interval := time.Duration(float64(time.Second) / *rate)
@@ -250,26 +366,42 @@ func main() {
 	for time.Now().Before(deadline) {
 		<-ticker.C
 		cls := pickClass(rng, classes)
+		arm := pickArm(rng, arms)
 		jobSeed++
 		submitted.Add(1)
 		wg.Add(1)
-		go func(cls jobClass, seed uint64) {
+		go func(cls jobClass, arm tenantArm, seed uint64) {
 			defer wg.Done()
-			o, status, retries := runOne(*addr, cls, seed, *resubmit)
+			o, status, retries := runOne(*addr, cls, arm, seed, *resubmit)
 			resubmitted.Add(retries)
 			switch status {
 			case http.StatusAccepted, http.StatusOK:
 				accepted.Add(1)
 				eventsTotal.Add(o.events)
 				mu.Lock()
+				if arm.tenant != "" {
+					tenantRep(arm.tenant).Accepted++
+				}
 				outcomes = append(outcomes, o)
 				mu.Unlock()
 			case http.StatusServiceUnavailable:
 				shed.Add(1)
+				if arm.tenant != "" {
+					mu.Lock()
+					tenantRep(arm.tenant).Shed++
+					mu.Unlock()
+				}
+			case http.StatusTooManyRequests:
+				rejected429.Add(1)
+				if arm.tenant != "" {
+					mu.Lock()
+					tenantRep(arm.tenant).Rejected429++
+					mu.Unlock()
+				}
 			default:
 				errs.Add(1)
 			}
-		}(cls, jobSeed)
+		}(cls, arm, jobSeed)
 	}
 	ticker.Stop()
 
@@ -293,9 +425,11 @@ func main() {
 		Accepted:        accepted.Load(),
 		Shed:            shed.Load(),
 		Resubmitted:     resubmitted.Load(),
+		Rejected429:     rejected429.Load(),
 		Errors:          errs.Load(),
 		EventsConsumed:  eventsTotal.Load(),
 		PerClass:        map[string]latencySummary{},
+		Tenants:         *tenantsStr,
 	}
 	if rep.Submitted > 0 {
 		rep.ShedRate = float64(rep.Shed) / float64(rep.Submitted)
@@ -305,12 +439,22 @@ func main() {
 	}
 	var all []float64
 	perClass := map[string][]float64{}
+	perTenantClass := map[string]map[string][]float64{} // tenant → QoS class → latencies
 	for _, o := range outcomes {
 		switch o.state {
 		case "done":
 			rep.Done++
 			all = append(all, o.latency)
 			perClass[o.class] = append(perClass[o.class], o.latency)
+			if o.tenant != "" {
+				tc, ok := perTenantClass[o.tenant]
+				if !ok {
+					tc = map[string][]float64{}
+					perTenantClass[o.tenant] = tc
+				}
+				tc[o.qosClass] = append(tc[o.qosClass], o.latency)
+				tenantRep(o.tenant).Done++
+			}
 		case "failed":
 			rep.Failed++
 			if rep.FailedReasons == nil {
@@ -324,6 +468,16 @@ func main() {
 	rep.Latency = summarize(all)
 	for name, lats := range perClass {
 		rep.PerClass[name] = summarize(lats)
+	}
+	if len(tenantSheds) > 0 {
+		rep.PerTenant = tenantSheds
+		for tenant, tc := range perTenantClass {
+			tr := tenantRep(tenant)
+			tr.PerClass = map[string]latencySummary{}
+			for class, lats := range tc {
+				tr.PerClass[class] = summarize(lats)
+			}
+		}
 	}
 	rep.ServerAdmissionToDone = scrapeServerHistogram(*addr)
 
@@ -346,23 +500,37 @@ func main() {
 // runOne submits one job — honoring Retry-After on 503 up to budget
 // resubmissions — and, when accepted, follows its SSE stream to the
 // terminal state. It returns the final HTTP submit status (0 on a
-// transport error) and how many resubmissions it spent.
-func runOne(addr string, cls jobClass, seed uint64, budget int) (outcome, int, int64) {
-	body := make(map[string]any, len(cls.body)+1)
+// transport error) and how many resubmissions it spent. A 429 (the
+// tenant's own rate/quota budget, not server capacity) is terminal
+// immediately: resubmitting over-budget traffic would just measure the
+// limiter again.
+func runOne(addr string, cls jobClass, arm tenantArm, seed uint64, budget int) (outcome, int, int64) {
+	body := make(map[string]any, len(cls.body)+2)
 	for k, v := range cls.body {
 		body[k] = v
 	}
 	body["seed"] = seed
+	if arm.qosClass != "" {
+		body["class"] = arm.qosClass
+	}
 	payload, _ := json.Marshal(body)
+	fail := outcome{class: cls.name, tenant: arm.tenant, qosClass: arm.qosClass}
 
 	t0 := time.Now()
 	var resp *http.Response
-	var err error
 	var retries int64
 	for {
-		resp, err = http.Post(addr+"/jobs", "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, addr+"/jobs", bytes.NewReader(payload))
 		if err != nil {
-			return outcome{class: cls.name}, 0, retries
+			return fail, 0, retries
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if arm.tenant != "" {
+			req.Header.Set("X-Tenant", arm.tenant)
+		}
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			return fail, 0, retries
 		}
 		if resp.StatusCode != http.StatusServiceUnavailable || retries >= int64(budget) {
 			break
@@ -379,16 +547,16 @@ func runOne(addr string, cls jobClass, seed uint64, budget int) (outcome, int, i
 	// 202 is a fresh admission; 200 is a durable serd deduping the
 	// resubmission onto a job it already owns — both mean the job is in.
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return outcome{class: cls.name}, resp.StatusCode, retries
+		return fail, resp.StatusCode, retries
 	}
 	var st struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || st.ID == "" {
-		return outcome{class: cls.name}, 0, retries
+		return fail, 0, retries
 	}
 
-	o := outcome{class: cls.name}
+	o := outcome{class: cls.name, tenant: arm.tenant, qosClass: arm.qosClass}
 	state, errMsg, events := followEvents(addr, st.ID)
 	o.events = events
 	if state == "" {

@@ -52,6 +52,13 @@ const (
 	// checkpoint), "restored" (terminal job rebuilt with its result), or
 	// "failed-validation" (journaled spec the server no longer accepts).
 	TypeRecovery = "recovery"
+	// TypePreempted marks a running batch job yielding its worker to an
+	// interactive arrival at a checkpoint boundary; the job requeues and
+	// its completed bins stay checkpointed.
+	TypePreempted = "preempted"
+	// TypeResumed marks a previously preempted job starting to run again;
+	// it picks up from its fingerprint-keyed checkpoint bit-identically.
+	TypeResumed = "resumed"
 )
 
 // Event is one telemetry datum on a job's stream. It is a flat union over

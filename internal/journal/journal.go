@@ -67,6 +67,11 @@ type Record struct {
 	Request        json.RawMessage `json:"request,omitempty"`
 	Fingerprint    string          `json:"fingerprint,omitempty"`
 	IdempotencyKey string          `json:"idempotency_key,omitempty"`
+	// Tenant and Class carry the QoS identity the job was admitted under,
+	// so replay restores per-tenant quota accounting and fair-queue
+	// placement, not just the job itself.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 
 	// State records.
 	State  string          `json:"state,omitempty"`

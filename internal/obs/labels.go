@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled builds a registry metric name carrying Prometheus-style labels:
+//
+//	Labeled("serd/tenant/jobs/submitted", "tenant", "acme")
+//	  → `serd/tenant/jobs/submitted{tenant="acme"}`
+//
+// The registry treats the result as an ordinary opaque name — each label
+// combination is its own counter/gauge/histogram — while WritePrometheus
+// recognizes the suffix and renders every labeled variant as one metric
+// family (single HELP/TYPE) with per-labelset samples, which is what
+// scrapers and LintExposition require.
+//
+// kv is alternating key/value pairs. Keys are sanitized to the Prometheus
+// label charset, values are escaped, and pairs are sorted by key so the
+// same label set always produces the same registry name regardless of
+// argument order. An odd trailing key is dropped; no pairs returns the
+// name unchanged.
+func Labeled(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{labelKey(kv[i]), labelValue(kv[i+1])})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabels splits a registry metric name into its base name and the
+// `{...}` label suffix Labeled appended (empty when unlabeled). The suffix
+// includes the braces and is already valid exposition-format label syntax.
+func SplitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// labelKey sanitizes a label name to [a-zA-Z_][a-zA-Z0-9_]*, collapsing
+// runs of other characters to one underscore.
+func labelKey(k string) string {
+	var b strings.Builder
+	b.Grow(len(k))
+	lastUnderscore := false
+	for i, c := range k {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteRune(c)
+			lastUnderscore = c == '_'
+		} else if !lastUnderscore {
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// labelValue escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func labelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

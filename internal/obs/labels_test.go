@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabeled(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"serd/jobs", nil, "serd/jobs"},
+		{"serd/jobs", []string{"tenant", "acme"}, `serd/jobs{tenant="acme"}`},
+		// Keys sort, so argument order never forks the registry name.
+		{"m", []string{"tenant", "a", "class", "batch"}, `m{class="batch",tenant="a"}`},
+		{"m", []string{"class", "batch", "tenant", "a"}, `m{class="batch",tenant="a"}`},
+		// Hostile values are escaped, hostile keys sanitized.
+		{"m", []string{"tenant", `ev"il` + "\n"}, `m{tenant="ev\"il\n"}`},
+		{"m", []string{"bad key!", "v"}, `m{bad_key_="v"}`},
+		{"m", []string{"9lead", "v"}, `m{_lead="v"}`},
+		// Odd trailing key is dropped.
+		{"m", []string{"only"}, "m"},
+	} {
+		if got := Labeled(tc.name, tc.kv...); got != tc.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", tc.name, tc.kv, got, tc.want)
+		}
+	}
+}
+
+func TestSplitLabels(t *testing.T) {
+	for _, tc := range []struct{ in, base, labels string }{
+		{"serd/jobs", "serd/jobs", ""},
+		{`serd/jobs{tenant="a"}`, "serd/jobs", `{tenant="a"}`},
+		{"odd{unclosed", "odd{unclosed", ""},
+	} {
+		base, labels := SplitLabels(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("SplitLabels(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledFamilies: labeled variants of one base name
+// must render as a single family — one HELP/TYPE, contiguous samples, and
+// histogram labelsets each carrying their own cumulative le sequence — and
+// the result must pass the linter. This is the shape the per-tenant serd
+// metrics take.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("serd/tenant/jobs/submitted", "tenant", "acme")).Add(7)
+	r.Counter(Labeled("serd/tenant/jobs/submitted", "tenant", "anon")).Add(2)
+	// An unlabeled metric whose name sorts between the labeled variants'
+	// raw names ('/' < '{') — grouping must keep the family contiguous.
+	r.Counter("serd/tenant/jobs/submitted/zz").Inc()
+	for _, tenant := range []string{"acme", "anon"} {
+		h := r.Histogram(Labeled("serd/tenant/wait_seconds", "tenant", tenant, "class", "batch"), []float64{0.1, 1})
+		h.Observe(0.05)
+		h.Observe(5)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "finser"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("labeled exposition fails lint: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, "# TYPE finser_serd_tenant_jobs_submitted counter"); got != 1 {
+		t.Errorf("want exactly 1 TYPE line for the labeled counter family, got %d\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE finser_serd_tenant_wait_seconds histogram"); got != 1 {
+		t.Errorf("want exactly 1 TYPE line for the labeled histogram family, got %d\n%s", got, out)
+	}
+	for _, want := range []string{
+		`finser_serd_tenant_jobs_submitted{tenant="acme"} 7`,
+		`finser_serd_tenant_jobs_submitted{tenant="anon"} 2`,
+		"finser_serd_tenant_jobs_submitted_zz 1",
+		`finser_serd_tenant_wait_seconds_bucket{class="batch",tenant="acme",le="+Inf"} 2`,
+		`finser_serd_tenant_wait_seconds_count{class="batch",tenant="anon"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestLintExpositionLabeledHistogramResets: the per-labelset keying —
+// a second labelset restarting the le sequence is legal, but a
+// non-cumulative sequence WITHIN one labelset still fails.
+func TestLintExpositionLabeledHistogramResets(t *testing.T) {
+	clean := "# HELP h x\n# TYPE h histogram\n" +
+		"h_bucket{tenant=\"a\",le=\"1\"} 5\nh_bucket{tenant=\"a\",le=\"+Inf\"} 6\n" +
+		"h_sum{tenant=\"a\"} 1\nh_count{tenant=\"a\"} 6\n" +
+		"h_bucket{tenant=\"b\",le=\"1\"} 2\nh_bucket{tenant=\"b\",le=\"+Inf\"} 2\n" +
+		"h_sum{tenant=\"b\"} 1\nh_count{tenant=\"b\"} 2\n"
+	if err := LintExposition(strings.NewReader(clean)); err != nil {
+		t.Fatalf("lint rejected clean labeled histogram: %v", err)
+	}
+	bad := "# HELP h x\n# TYPE h histogram\n" +
+		"h_bucket{tenant=\"a\",le=\"1\"} 5\nh_bucket{tenant=\"a\",le=\"2\"} 3\n" +
+		"h_bucket{tenant=\"a\",le=\"+Inf\"} 5\nh_sum{tenant=\"a\"} 1\nh_count{tenant=\"a\"} 5\n"
+	if err := LintExposition(strings.NewReader(bad)); err == nil {
+		t.Fatal("lint accepted non-cumulative buckets within one labelset")
+	}
+	missingInf := "# HELP h x\n# TYPE h histogram\n" +
+		"h_bucket{tenant=\"a\",le=\"1\"} 1\nh_bucket{tenant=\"a\",le=\"+Inf\"} 1\n" +
+		"h_count{tenant=\"a\"} 1\n" +
+		"h_bucket{tenant=\"b\",le=\"1\"} 1\nh_count{tenant=\"b\"} 1\n"
+	if err := LintExposition(strings.NewReader(missingInf)); err == nil {
+		t.Fatal("lint accepted a labelset with no +Inf bucket")
+	}
+	countMismatch := "# HELP h x\n# TYPE h histogram\n" +
+		"h_bucket{tenant=\"a\",le=\"+Inf\"} 3\nh_count{tenant=\"a\"} 4\n"
+	if err := LintExposition(strings.NewReader(countMismatch)); err == nil {
+		t.Fatal("lint accepted +Inf/count mismatch within a labelset")
+	}
+}

@@ -21,11 +21,14 @@ import (
 //
 // Metric names are sanitized to the Prometheus charset (runs of other
 // characters become "_"), prefixed with namespace, and emitted in sorted
-// order so scrapes diff cleanly. The raw registry name is preserved in the
-// HELP line. Every series carries exactly one HELP and one TYPE line
-// (duplicate sanitized names are skipped after the first — LintExposition
-// treats duplicates as corruption). Nil-safe: a nil registry writes
-// nothing.
+// order so scrapes diff cleanly. Registry names built with Labeled carry a
+// `{k="v"}` suffix; every labeled variant of one base name renders under a
+// single family — one HELP/TYPE pair, then all labelsets' samples
+// contiguously, which is what scrapers require. The raw base name is
+// preserved in the HELP line. Every family carries exactly one HELP and
+// one TYPE line (duplicate sanitized names are skipped after the first —
+// LintExposition treats duplicates as corruption). Nil-safe: a nil
+// registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 	if r == nil {
 		return nil
@@ -41,35 +44,46 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 		return true
 	}
 
-	for _, name := range sortedKeys(s.Counters) {
-		m := promName(namespace, name)
-		if !emit(m) {
+	for _, g := range groupFamilies(sortedKeys(s.Counters), namespace) {
+		if !emit(g.fam) {
 			continue
 		}
-		fmt.Fprintf(ew, "# HELP %s Counter %q.\n# TYPE %s counter\n%s %d\n", m, name, m, m, s.Counters[name])
+		base, _ := SplitLabels(g.raws[0])
+		fmt.Fprintf(ew, "# HELP %s Counter %q.\n# TYPE %s counter\n", g.fam, base, g.fam)
+		for _, raw := range g.raws {
+			_, labels := SplitLabels(raw)
+			fmt.Fprintf(ew, "%s%s %d\n", g.fam, labels, s.Counters[raw])
+		}
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		m := promName(namespace, name)
-		if !emit(m) {
+	for _, g := range groupFamilies(sortedKeys(s.Gauges), namespace) {
+		if !emit(g.fam) {
 			continue
 		}
-		fmt.Fprintf(ew, "# HELP %s Gauge %q.\n# TYPE %s gauge\n%s %s\n", m, name, m, m, promFloat(s.Gauges[name]))
+		base, _ := SplitLabels(g.raws[0])
+		fmt.Fprintf(ew, "# HELP %s Gauge %q.\n# TYPE %s gauge\n", g.fam, base, g.fam)
+		for _, raw := range g.raws {
+			_, labels := SplitLabels(raw)
+			fmt.Fprintf(ew, "%s%s %s\n", g.fam, labels, promFloat(s.Gauges[raw]))
+		}
 	}
-	for _, name := range sortedKeys(s.Histograms) {
-		m := promName(namespace, name)
-		if !emit(m) {
+	for _, g := range groupFamilies(sortedKeys(s.Histograms), namespace) {
+		if !emit(g.fam) {
 			continue
 		}
-		h := s.Histograms[name]
-		fmt.Fprintf(ew, "# HELP %s Histogram %q.\n# TYPE %s histogram\n", m, name, m)
-		cum := int64(0)
-		for _, b := range h.Buckets {
-			cum += b.Count
-			fmt.Fprintf(ew, "%s_bucket{le=%q} %d\n", m, promFloat(b.Le), cum)
+		base, _ := SplitLabels(g.raws[0])
+		fmt.Fprintf(ew, "# HELP %s Histogram %q.\n# TYPE %s histogram\n", g.fam, base, g.fam)
+		for _, raw := range g.raws {
+			_, labels := SplitLabels(raw)
+			h := s.Histograms[raw]
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				fmt.Fprintf(ew, "%s_bucket%s %d\n", g.fam, mergeLe(labels, promFloat(b.Le)), cum)
+			}
+			cum += h.Overflow
+			fmt.Fprintf(ew, "%s_bucket%s %d\n", g.fam, mergeLe(labels, "+Inf"), cum)
+			fmt.Fprintf(ew, "%s_sum%s %s\n%s_count%s %d\n", g.fam, labels, promFloat(h.Sum), g.fam, labels, h.Count)
 		}
-		cum += h.Overflow
-		fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", m, cum)
-		fmt.Fprintf(ew, "%s_sum %s\n%s_count %d\n", m, promFloat(h.Sum), m, h.Count)
 	}
 	for _, sp := range s.Spans {
 		m := promName(namespace, "span/"+sp.Path+"/seconds")
@@ -80,6 +94,44 @@ func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
 		fmt.Fprintf(ew, "%s_sum %s\n%s_count %d\n", m, promFloat(sp.TotalSeconds), m, sp.Count)
 	}
 	return ew.err
+}
+
+// famGroup is one metric family: its sanitized exposition name and the raw
+// registry names (unlabeled and/or labeled variants) that map onto it, in
+// sorted raw order.
+type famGroup struct {
+	fam  string
+	raws []string
+}
+
+// groupFamilies buckets sorted raw registry names by their sanitized family
+// name, preserving first-appearance order. Raw sort order can interleave
+// families ('/' sorts before '{'), so emission must group before writing —
+// a family's HELP/TYPE and samples have to be contiguous.
+func groupFamilies(names []string, namespace string) []famGroup {
+	idx := map[string]int{}
+	var out []famGroup
+	for _, raw := range names {
+		base, _ := SplitLabels(raw)
+		fam := promName(namespace, base)
+		i, ok := idx[fam]
+		if !ok {
+			i = len(out)
+			idx[fam] = i
+			out = append(out, famGroup{fam: fam})
+		}
+		out[i].raws = append(out[i].raws, raw)
+	}
+	return out
+}
+
+// mergeLe appends the histogram `le` bound to an existing label suffix
+// (or opens a fresh one when the series is unlabeled).
+func mergeLe(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
 }
 
 // promName sanitizes a registry name into the Prometheus metric charset

@@ -1,0 +1,216 @@
+// Package qos is the serving layer's fairness-and-isolation policy: it
+// decides which tenant's work runs next and how much work one tenant may
+// have in the system at all, so a single client flooding million-particle
+// batch FIT jobs cannot starve everyone else's interactive lookups.
+//
+// Two mechanisms compose:
+//
+//   - Limiter: per-tenant admission control — a token-bucket rate limit on
+//     submissions plus an in-flight quota (queued + running jobs). A tenant
+//     over either limit is refused with a typed, per-tenant error
+//     (*RateError / *QuotaError, HTTP 429 at the API) while every other
+//     tenant keeps being served; this is deliberately distinct from the
+//     global capacity 503, which means "the server is full", not "you are
+//     over budget".
+//
+//   - Scheduler: a weighted-fair queue (start-time fair queueing) over
+//     per-tenant × priority-class flows. Each admitted item carries a cost
+//     estimate; its flow accumulates virtual time at cost/weight, and
+//     workers always pull the globally smallest virtual finish tag. An
+//     interactive flow with a large class weight therefore bounds its wait
+//     by its own (tiny) backlog regardless of how deep a batch tenant's
+//     queue is — fairness by construction, not by polling heuristics.
+//
+// Within one flow, order is strict FIFO, and with a single flow (one
+// tenant, one class — every pre-QoS deployment) the scheduler degenerates
+// to exactly the admission-order FIFO the server shipped with, so enabling
+// the package is behavior-preserving until tenants actually diverge.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Priority classes. Class names are free-form at the API (the scheduler
+// treats any string as a flow dimension), but the serving layer maps jobs
+// onto these two.
+const (
+	// ClassInteractive is the latency-sensitive class: short
+	// characterization lookups a human (or a dashboard) is waiting on.
+	ClassInteractive = "interactive"
+	// ClassBatch is the throughput class: long Monte-Carlo FIT
+	// integrations that tolerate queueing and preemption.
+	ClassBatch = "batch"
+)
+
+// DefaultTenant is the flow a request without an X-Tenant header lands in.
+const DefaultTenant = "anon"
+
+// DefaultClassWeights favor interactive work 10:1 — an interactive job's
+// virtual finish tag grows ten times slower per unit cost, so it overtakes
+// any batch backlog while batch still gets a guaranteed 1/11 share under
+// saturation (WFQ is work-conserving: an idle interactive flow cedes its
+// entire share to batch).
+func DefaultClassWeights() map[string]float64 {
+	return map[string]float64{ClassInteractive: 10, ClassBatch: 1}
+}
+
+// RateError reports a tenant over its submission rate limit. The API maps
+// it to HTTP 429 with a Retry-After of RetryAfter rounded up.
+type RateError struct {
+	Tenant string
+	// RetryAfter is how long until the bucket refills one token.
+	RetryAfter time.Duration
+}
+
+func (e *RateError) Error() string {
+	return fmt.Sprintf("qos: tenant %q over submission rate limit (retry in %s)",
+		e.Tenant, e.RetryAfter.Round(time.Millisecond))
+}
+
+// QuotaError reports a tenant at its in-flight quota. The API maps it to
+// HTTP 429; the tenant must wait for one of its own jobs to finish.
+type QuotaError struct {
+	Tenant   string
+	InFlight int
+	Limit    int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("qos: tenant %q at in-flight quota (%d of %d jobs queued or running)",
+		e.Tenant, e.InFlight, e.Limit)
+}
+
+// LimiterConfig tunes per-tenant admission control. The zero value
+// disables both mechanisms (every Admit and Acquire succeeds).
+type LimiterConfig struct {
+	// Rate is the sustained submission rate every tenant gets, tokens
+	// (submissions) per second. <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the bucket depth — how many submissions a tenant can land
+	// back-to-back after an idle period. <= 0 selects max(1, Rate).
+	Burst float64
+	// Quota bounds one tenant's in-flight jobs (queued + running).
+	// <= 0 disables the quota.
+	Quota int
+	// Now supplies the clock (tests inject a fake; nil selects time.Now).
+	Now func() time.Time
+}
+
+// Limiter enforces per-tenant token-bucket rate limits and in-flight
+// quotas. All methods are safe for concurrent use; a nil *Limiter is a
+// no-op that admits everything, following the repo's nil-receiver idiom.
+type Limiter struct {
+	mu       sync.Mutex
+	cfg      LimiterConfig
+	buckets  map[string]*bucket
+	inflight map[string]int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.Rate)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{
+		cfg:      cfg,
+		buckets:  map[string]*bucket{},
+		inflight: map[string]int{},
+	}
+}
+
+// Admit burns one rate token for the tenant, or returns a *RateError with
+// the time until the next token when the bucket is empty. With rate
+// limiting disabled (or a nil limiter) it always succeeds. A rejected
+// submission burns nothing.
+func (l *Limiter) Admit(tenant string) error {
+	if l == nil || l.cfg.Rate <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[tenant] = b
+	}
+	// Refill lazily: elapsed wall time converts to tokens at the
+	// configured rate, capped at the burst depth.
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.cfg.Burst, b.tokens+dt*l.cfg.Rate)
+	}
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / l.cfg.Rate * float64(time.Second))
+		return &RateError{Tenant: tenant, RetryAfter: wait}
+	}
+	b.tokens--
+	return nil
+}
+
+// Acquire counts one in-flight job against the tenant's quota, or returns
+// a *QuotaError when the tenant is already at its limit. Pair every
+// successful Acquire with exactly one Release when the job reaches a
+// terminal state.
+func (l *Limiter) Acquire(tenant string) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Quota > 0 && l.inflight[tenant] >= l.cfg.Quota {
+		return &QuotaError{Tenant: tenant, InFlight: l.inflight[tenant], Limit: l.cfg.Quota}
+	}
+	l.inflight[tenant]++
+	return nil
+}
+
+// Restore counts one in-flight job without checking the quota — journal
+// recovery uses it so jobs admitted before a crash are never refused their
+// own slots on replay (the quota may even be temporarily exceeded; it
+// drains as the recovered jobs finish).
+func (l *Limiter) Restore(tenant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inflight[tenant]++
+}
+
+// Release returns one in-flight slot to the tenant.
+func (l *Limiter) Release(tenant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[tenant] > 0 {
+		l.inflight[tenant]--
+		if l.inflight[tenant] == 0 {
+			delete(l.inflight, tenant)
+		}
+	}
+}
+
+// InFlight returns the tenant's current queued + running job count.
+func (l *Limiter) InFlight(tenant string) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight[tenant]
+}

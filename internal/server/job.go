@@ -10,6 +10,7 @@ import (
 
 	"finser"
 	"finser/internal/events"
+	"finser/internal/qos"
 )
 
 // JobState is the lifecycle state of a submitted SER job.
@@ -58,6 +59,19 @@ type JobRequest struct {
 	// TimeoutSeconds overrides the server's per-job deadline (0 keeps
 	// the server default).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Class is the QoS priority class: "interactive" (latency-sensitive,
+	// weighted ahead in the fair queue, may preempt batch work) or "batch"
+	// (the default — throughput work that tolerates queueing and
+	// checkpoint-boundary preemption).
+	Class string `json:"class,omitempty"`
+}
+
+// class normalizes the request's QoS class, defaulting to batch.
+func (r JobRequest) class() string {
+	if r.Class == "" {
+		return qos.ClassBatch
+	}
+	return strings.ToLower(r.Class)
 }
 
 // RequestError reports an invalid job-request field — mapped to HTTP 400
@@ -87,6 +101,11 @@ func (r JobRequest) flowConfig() (finser.FlowConfig, error) {
 	}
 	if r.TimeoutSeconds < 0 {
 		return finser.FlowConfig{}, &RequestError{Field: "timeout_seconds", Reason: fmt.Sprintf("must not be negative, got %g", r.TimeoutSeconds)}
+	}
+	switch r.class() {
+	case qos.ClassInteractive, qos.ClassBatch:
+	default:
+		return finser.FlowConfig{}, &RequestError{Field: "class", Reason: fmt.Sprintf("unknown %q (interactive or batch)", r.Class)}
 	}
 	return finser.FlowConfig{
 		Vdd:              r.Vdd,
@@ -133,10 +152,16 @@ type JobStatus struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Recovered marks a job rebuilt from the durable journal after a
 	// restart rather than admitted over the API in this process.
-	Recovered bool       `json:"recovered,omitempty"`
-	Error     string     `json:"error,omitempty"`
-	Result    *JobResult `json:"result,omitempty"`
-	Request   JobRequest `json:"request"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Tenant and Class are the QoS identity the job was admitted under.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
+	// Preemptions counts how many times the job yielded its worker to
+	// interactive arrivals and requeued (resuming from its checkpoint).
+	Preemptions int        `json:"preemptions,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Request     JobRequest `json:"request"`
 }
 
 // job is the server-internal record. The owning Server's mutex guards all
@@ -156,6 +181,18 @@ type job struct {
 	retries   atomic.Int64
 	resumed   int
 
+	// tenant and class are the QoS identity (tenant from X-Tenant, class
+	// from the request), fixed at admission; cost is the WFQ cost estimate.
+	tenant string
+	class  string
+	cost   float64
+	// preemptCancel cancels the current run's context only (not j.ctx), so
+	// a preemption stops the flow without killing the job; non-nil exactly
+	// while a worker is running the job. preemptPending marks a preemption
+	// initiated but not yet requeued; preempts counts completed ones.
+	preemptCancel  context.CancelCauseFunc
+	preemptPending bool
+	preempts       int
 	// fingerprint is the FlowFingerprint digest, computed at admission.
 	fingerprint string
 	// idemKey is the idempotency key this job was admitted under ("" when
@@ -187,6 +224,9 @@ func (j *job) status() JobStatus {
 		ResumedStages: j.resumed,
 		Fingerprint:   j.fingerprint,
 		Recovered:     j.recovered,
+		Tenant:        j.tenant,
+		Class:         j.class,
+		Preemptions:   j.preempts,
 		Error:         j.err,
 		Result:        j.result,
 		Request:       j.req,

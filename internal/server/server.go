@@ -8,10 +8,20 @@
 // The queue is the backpressure boundary: when it is full (or the server
 // is draining) a submission is rejected immediately with ErrQueueFull /
 // ErrDraining — HTTP 503 plus Retry-After — instead of piling goroutines
-// onto a saturated machine. Workers pull jobs in admission order; each job
-// runs characterize → alpha FIT → proton FIT, every stage under the retry
-// policy, and each species stage behind its own circuit breaker so a
-// workload class that keeps failing is shed without burning workers on it.
+// onto a saturated machine. Admission is multi-tenant: the X-Tenant header
+// names the tenant (default "anon"), each tenant is policed by a
+// token-bucket rate limit and an in-flight quota (typed qos errors, HTTP
+// 429 — distinct from the global capacity 503), and workers pull jobs from
+// a weighted-fair queue over tenant × class flows (internal/qos) instead
+// of a single FIFO, so an interactive job's wait is bounded by its own
+// flow's backlog no matter how deep a batch tenant's queue is. With
+// preemption enabled, an interactive arrival that finds every worker busy
+// on batch work asks the longest-running batch job to yield at its next
+// checkpoint boundary; the preempted job requeues and later resumes from
+// its fingerprint-keyed checkpoint bit-identically. Each job runs
+// characterize → alpha FIT → proton FIT, every stage under the retry
+// policy, and each tenant × species stage behind its own circuit breaker
+// so one tenant's failing workload class is shed without tripping others.
 //
 // With Config.DataDir set the job layer is durable: every lifecycle
 // transition is appended to a CRC-framed fsync'd journal
@@ -31,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -47,6 +58,7 @@ import (
 	"finser/internal/faultinject"
 	"finser/internal/journal"
 	"finser/internal/obs"
+	"finser/internal/qos"
 	"finser/internal/retry"
 )
 
@@ -74,7 +86,13 @@ const (
 	// DefaultJournalMaxBytes is the journal size past which the retention
 	// sweeper compacts it by atomic rotation.
 	DefaultJournalMaxBytes = 4 << 20
+	// DefaultRetryAfterMax caps the load-aware 503 Retry-After hint.
+	DefaultRetryAfterMax = 60 * time.Second
 )
+
+// errPreempted is the cancel cause a preemption attaches to the running
+// job's per-run context, distinguishing a yield from a user cancel.
+var errPreempted = errors.New("server: preempted for interactive work")
 
 // speciesStages are the per-species workload classes, each behind its own
 // circuit breaker.
@@ -168,6 +186,30 @@ type Config struct {
 	// JournalMaxBytes triggers compacting journal rotation once the log
 	// exceeds it. Zero selects DefaultJournalMaxBytes.
 	JournalMaxBytes int64
+	// TenantWeights gives named tenants a fair-queue weight (unlisted
+	// tenants weigh 1). A tenant's share under contention is proportional
+	// to its weight.
+	TenantWeights map[string]float64
+	// ClassWeights overrides the interactive/batch fair-queue weights.
+	// Nil selects qos.DefaultClassWeights (interactive 10 : batch 1).
+	ClassWeights map[string]float64
+	// TenantRate is each tenant's sustained submission rate (jobs/second);
+	// TenantBurst the token-bucket depth (<= 0: max(1, rate)). Rate <= 0
+	// disables rate limiting. Over-rate submissions get a typed 429.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantQuota bounds one tenant's in-flight jobs (queued + running);
+	// <= 0 disables. Over-quota submissions get a typed 429.
+	TenantQuota int
+	// Preempt enables checkpoint-boundary preemption: an interactive
+	// arrival that finds all workers busy on batch jobs asks the
+	// longest-running batch job to yield; it requeues and resumes from its
+	// checkpoint. Requires CheckpointDir (or DataDir) so yielded work is
+	// never lost.
+	Preempt bool
+	// RetryAfterMax caps the load-aware 503 Retry-After hint. Zero selects
+	// DefaultRetryAfterMax.
+	RetryAfterMax time.Duration
 }
 
 // Distributor runs one job's FIT across a remote worker pool. It is the
@@ -186,7 +228,8 @@ type Distributor interface {
 type Server struct {
 	cfg      Config
 	reg      *obs.Registry
-	queue    chan *job
+	sched    *qos.Scheduler
+	limiter  *qos.Limiter
 	breakers map[string]*breaker.Breaker
 	mux      *http.ServeMux
 	wg       sync.WaitGroup
@@ -232,14 +275,26 @@ func New(cfg Config) *Server {
 	if cfg.JournalMaxBytes <= 0 {
 		cfg.JournalMaxBytes = DefaultJournalMaxBytes
 	}
+	if cfg.RetryAfterMax <= 0 {
+		cfg.RetryAfterMax = DefaultRetryAfterMax
+	}
 	if cfg.DataDir != "" && cfg.CheckpointDir == "" {
 		cfg.CheckpointDir = filepath.Join(cfg.DataDir, "checkpoints")
 	}
 	baseCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		reg:      cfg.Metrics,
-		queue:    make(chan *job, cfg.QueueDepth),
+		cfg: cfg,
+		reg: cfg.Metrics,
+		sched: qos.NewScheduler(qos.SchedulerConfig{
+			Capacity:      cfg.QueueDepth,
+			ClassWeights:  cfg.ClassWeights,
+			TenantWeights: cfg.TenantWeights,
+		}),
+		limiter: qos.NewLimiter(qos.LimiterConfig{
+			Rate:  cfg.TenantRate,
+			Burst: cfg.TenantBurst,
+			Quota: cfg.TenantQuota,
+		}),
 		breakers: map[string]*breaker.Breaker{},
 		jobs:     map[string]*job{},
 		idem:     map[string]string{},
@@ -285,6 +340,26 @@ func (s *Server) newBreaker(name string) *breaker.Breaker {
 		}
 	}
 	return breaker.New(bc)
+}
+
+// breakerFor returns the circuit breaker guarding one tenant × species
+// workload class, creating it on first use. The anonymous tenant keeps the
+// bare species keys (and metric names) the server has always used; named
+// tenants get isolated "tenant/species" breakers, so one tenant's failing
+// configs trip shedding only for that tenant.
+func (s *Server) breakerFor(tenant, species string) *breaker.Breaker {
+	key := species
+	if tenant != "" && tenant != qos.DefaultTenant {
+		key = tenant + "/" + species
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br, ok := s.breakers[key]
+	if !ok {
+		br = s.newBreaker(key)
+		s.breakers[key] = br
+	}
+	return br
 }
 
 // RecoveryStats summarizes one journal replay.
@@ -404,6 +479,14 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			s.reg.Counter("serd/recovery/invalid_specs").Inc()
 			continue
 		}
+		tenant := f.sub.Tenant
+		if tenant == "" {
+			tenant = qos.DefaultTenant
+		}
+		class := f.sub.Class
+		if class == "" {
+			class = req.class()
+		}
 		j := &job{
 			id:          id,
 			req:         req,
@@ -411,6 +494,9 @@ func (s *Server) Recover() (RecoveryStats, error) {
 			fingerprint: f.sub.Fingerprint,
 			idemKey:     f.sub.IdempotencyKey,
 			recovered:   true,
+			tenant:      tenant,
+			class:       class,
+			cost:        estimateCost(req),
 		}
 		j.events = events.NewStream(s.cfg.EventBuffer, func() {
 			s.reg.Counter("serd/events/dropped_subscribers").Inc()
@@ -473,21 +559,20 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	if s.nextID < maxID {
 		s.nextID = maxID
 	}
-	if len(requeue) > 0 {
-		// Re-enqueued jobs must all fit regardless of the configured queue
-		// depth; safe to reallocate here because Start has not launched the
-		// workers yet.
-		s.queue = make(chan *job, s.cfg.QueueDepth+len(requeue))
-		for _, j := range requeue {
-			jctx, jcancel := context.WithCancel(s.baseCtx)
-			j.ctx, j.cancel = jctx, jcancel
-			j.state = StateQueued
-			s.queue <- j
-			stats.Requeued++
-			s.publish(j, events.Event{Type: events.TypeRecovery, State: "requeued"})
-			s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
-			j.logInfo("job recovered from journal", "requeued", true)
-		}
+	for _, j := range requeue {
+		jctx, jcancel := context.WithCancel(s.baseCtx)
+		j.ctx, j.cancel = jctx, jcancel
+		j.state = StateQueued
+		// ForcePush: every job admitted before the crash goes back on the
+		// fair queue regardless of the configured capacity, and Restore
+		// re-counts it against its tenant's quota without re-checking the
+		// limit — a pre-crash admission is never refused its own slot.
+		s.sched.ForcePush(j.tenant, j.class, j.cost, j)
+		s.limiter.Restore(j.tenant)
+		stats.Requeued++
+		s.publish(j, events.Event{Type: events.TypeRecovery, State: "requeued"})
+		s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
+		j.logInfo("job recovered from journal", "requeued", true)
 	}
 	s.mu.Unlock()
 
@@ -511,11 +596,9 @@ func (s *Server) Kill() {
 		s.journal.Close()
 	}
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)
-	}
+	s.draining = true
 	s.mu.Unlock()
+	s.sched.Close()
 	s.stop()
 	s.wg.Wait()
 }
@@ -617,6 +700,7 @@ func (s *Server) rotateJournal() {
 		live = append(live, journal.Record{
 			Kind: journal.KindSubmitted, Job: j.id, TimeMs: j.submitted.UnixMilli(),
 			Request: reqJSON, Fingerprint: j.fingerprint, IdempotencyKey: j.idemKey,
+			Tenant: j.tenant, Class: j.class,
 		})
 		if j.state == StateQueued {
 			continue
@@ -650,8 +734,12 @@ func (s *Server) Start() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
-				s.runJob(j)
+			for {
+				it, ok := s.sched.Pop()
+				if !ok {
+					return
+				}
+				s.runJob(it.(*job))
 			}
 		}()
 	}
@@ -684,6 +772,19 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 // originals do not dedupe — resubmitting one is an explicit "try again"
 // (it still resumes from the original's checkpoint).
 func (s *Server) SubmitIdem(req JobRequest, idemKey string) (JobStatus, bool, error) {
+	return s.SubmitTenant(req, idemKey, "")
+}
+
+// SubmitTenant is SubmitIdem on behalf of a named tenant ("" selects
+// qos.DefaultTenant). The tenant is policed by the per-tenant rate limit
+// and in-flight quota (typed *qos.RateError / *qos.QuotaError — HTTP 429,
+// the tenant is over budget) before the global capacity check (ErrQueueFull
+// — HTTP 503, the server is full), and the job lands in the tenant ×
+// class fair-queue flow.
+func (s *Server) SubmitTenant(req JobRequest, idemKey, tenant string) (JobStatus, bool, error) {
+	if tenant == "" {
+		tenant = qos.DefaultTenant
+	}
 	cfg, err := req.flowConfig()
 	if err != nil {
 		return JobStatus{}, false, err
@@ -731,6 +832,19 @@ func (s *Server) SubmitIdem(req JobRequest, idemKey string) (JobStatus, bool, er
 		s.reg.Counter("serd/jobs/rejected_draining").Inc()
 		return JobStatus{}, false, ErrDraining
 	}
+	// Per-tenant policing before global capacity: an over-budget tenant
+	// gets its typed 429 even when the server has room, and never burns a
+	// queue slot. Rate first (cheap, burns a token only on success), then
+	// the in-flight quota.
+	class := req.class()
+	if err := s.limiter.Admit(tenant); err != nil {
+		s.reg.Counter(obs.Labeled("serd/tenant/rejected_rate", "tenant", tenant)).Inc()
+		return JobStatus{}, false, err
+	}
+	if err := s.limiter.Acquire(tenant); err != nil {
+		s.reg.Counter(obs.Labeled("serd/tenant/rejected_quota", "tenant", tenant)).Inc()
+		return JobStatus{}, false, err
+	}
 	s.nextID++
 	jctx, jcancel := context.WithCancel(s.baseCtx)
 	j := &job{
@@ -743,15 +857,20 @@ func (s *Server) SubmitIdem(req JobRequest, idemKey string) (JobStatus, bool, er
 		ctx:         jctx,
 		fingerprint: fingerprint,
 		idemKey:     idemKey,
+		tenant:      tenant,
+		class:       class,
+		cost:        estimateCost(req),
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if perr := s.sched.Push(tenant, class, j.cost, j); perr != nil {
 		// Load shedding: a full queue refuses immediately rather than
 		// accumulating unbounded goroutines or latency.
 		s.nextID--
 		jcancel()
+		s.limiter.Release(tenant)
 		s.reg.Counter("serd/jobs/rejected_full").Inc()
+		if errors.Is(perr, qos.ErrClosed) {
+			return JobStatus{}, false, ErrDraining
+		}
 		return JobStatus{}, false, ErrQueueFull
 	}
 	j.events = events.NewStream(s.cfg.EventBuffer, func() {
@@ -767,13 +886,74 @@ func (s *Server) SubmitIdem(req JobRequest, idemKey string) (JobStatus, bool, er
 		s.journalAppend(journal.Record{
 			Kind: journal.KindSubmitted, Job: j.id, Request: reqJSON,
 			Fingerprint: j.fingerprint, IdempotencyKey: idemKey,
+			Tenant: tenant, Class: class,
 		})
 	}
 	s.reg.Counter("serd/jobs/submitted").Inc()
-	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
+	s.reg.Counter(obs.Labeled("serd/tenant/jobs_submitted", "tenant", tenant, "class", class)).Inc()
+	s.reg.Gauge("serd/queue/depth").Set(float64(s.sched.Len()))
 	s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
-	j.logInfo("job queued", "vdd", cfg.Vdd, "queue_depth", len(s.queue))
+	j.logInfo("job queued", "vdd", cfg.Vdd, "tenant", tenant, "class", class, "queue_depth", s.sched.Len())
+	if class == qos.ClassInteractive && s.cfg.Preempt && s.cfg.CheckpointDir != "" {
+		s.maybePreemptLocked(j)
+	}
 	return j.status(), false, nil
+}
+
+// maybePreemptLocked asks the longest-running batch job to yield its
+// worker when an interactive job has just been queued and every worker is
+// busy. The victim's per-run context is cancelled with errPreempted — its
+// flow unwinds cooperatively at the next checkpoint boundary (each
+// completed FIT bin is already saved), requeues, and later resumes
+// bit-identically. Interactive and already-preempting jobs are never
+// victims. Callers hold s.mu.
+func (s *Server) maybePreemptLocked(trigger *job) {
+	if s.running.Load() < int64(s.cfg.Workers) {
+		return // a worker is (or is about to be) free; WFQ order suffices
+	}
+	var victim *job
+	for _, id := range s.order {
+		c := s.jobs[id]
+		if c.state != StateRunning || c.class != qos.ClassBatch ||
+			c.preemptPending || c.preemptCancel == nil {
+			continue
+		}
+		if victim == nil || c.started.Before(victim.started) {
+			victim = c
+		}
+	}
+	if victim == nil {
+		return
+	}
+	victim.preemptPending = true
+	victim.preemptCancel(errPreempted)
+	s.reg.Counter("serd/jobs/preempt_requested").Inc()
+	victim.logInfo("preemption requested", "for_job", trigger.id, "for_tenant", trigger.tenant)
+}
+
+// estimateCost is the WFQ cost estimate for one job — relative Monte-Carlo
+// work units (bins × iterations, plus characterization samples). Precision
+// is unimportant: the fair queue only needs costs to scale with runtime so
+// a cheap interactive lookup's virtual finish tag stays far below a
+// million-particle batch job's.
+func estimateCost(req JobRequest) float64 {
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 1000
+	}
+	iters := req.ItersPerBin
+	if iters <= 0 {
+		iters = 50000
+	}
+	alphaBins := req.AlphaBins
+	if alphaBins <= 0 {
+		alphaBins = 12
+	}
+	protonBins := req.ProtonBins
+	if protonBins <= 0 {
+		protonBins = 16
+	}
+	return float64(samples) + float64(iters)*float64(alphaBins+protonBins)
 }
 
 // publish stamps the job ID onto e and publishes it to the job's stream,
@@ -889,13 +1069,14 @@ func (s *Server) Draining() bool {
 // The context bounds the wait.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		// Safe: admission checks draining under this same lock, so no
-		// send can race the close.
-		close(s.queue)
-	}
+	s.draining = true
 	s.mu.Unlock()
+	// Close after draining is visible: admission checks draining under
+	// s.mu, and preemption requeues do too, so nothing pushes after Close.
+	// Workers keep popping the backlog (each popped job finalizes as
+	// canceled once its context is cut below), then exit on the closed
+	// scheduler.
+	s.sched.Close()
 	s.stop() // cancels every job context derived from baseCtx
 
 	done := make(chan struct{})
@@ -933,18 +1114,31 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
-	s.reg.Gauge("serd/queue/depth").Set(float64(len(s.queue)))
+	// The per-run context layers under the job context: a preemption cuts
+	// only this run (the job requeues), while j.cancel and drains cut
+	// j.ctx and stay terminal.
+	runCtx, preemptCancel := context.WithCancelCause(j.ctx)
+	j.preemptCancel = preemptCancel
+	j.preemptPending = false
+	resumedRun := j.preempts > 0
+	s.reg.Gauge("serd/queue/depth").Set(float64(s.sched.Len()))
 	s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(1)))
 	queueWait := j.started.Sub(j.submitted)
 	s.mu.Unlock()
 	defer func() { s.reg.Gauge("serd/jobs/running").Set(float64(s.running.Add(-1))) }()
+	defer preemptCancel(nil)
 	s.latency("queue_wait").Observe(queueWait.Seconds())
 	s.journalAppend(journal.Record{Kind: journal.KindState, Job: j.id, State: string(StateRunning)})
 	s.publish(j, events.Event{Type: events.TypeState, State: string(StateRunning)})
+	if resumedRun {
+		s.reg.Counter("serd/jobs/preempt_resumed").Inc()
+		s.publish(j, events.Event{Type: events.TypeResumed, State: string(StateRunning)})
+		j.logInfo("job resuming after preemption", "preemptions", j.preempts)
+	}
 	j.logInfo("job running", "queue_wait_seconds", queueWait.Seconds())
 	s.instrumentFlow(j)
 
-	ctx := j.ctx
+	ctx := runCtx
 	timeout := s.cfg.JobTimeout
 	if j.req.TimeoutSeconds > 0 {
 		timeout = time.Duration(j.req.TimeoutSeconds * float64(time.Second))
@@ -968,10 +1162,28 @@ func (s *Server) runJob(j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j.preemptCancel = nil
+	preempted := j.preemptPending
+	j.preemptPending = false
 	switch {
 	case err == nil:
+		// The flow can finish before noticing a pending preemption — a
+		// completed job always wins over a requeue.
 		j.result = res
 		s.finalizeLocked(j, StateDone, "")
+	case preempted && errors.Is(err, context.Canceled) && j.ctx.Err() == nil && !s.draining:
+		// Preemption requeue: only when the yield's cancellation (and not a
+		// user cancel, drain, or timeout) unwound the flow. Completed bins
+		// are checkpointed, so the resume is bit-identical.
+		j.state = StateQueued
+		j.preempts++
+		s.reg.Counter("serd/jobs/preempted").Inc()
+		s.reg.Counter(obs.Labeled("serd/tenant/jobs_preempted", "tenant", j.tenant)).Inc()
+		s.journalAppend(journal.Record{Kind: journal.KindState, Job: j.id, State: string(StateQueued)})
+		s.publish(j, events.Event{Type: events.TypePreempted, State: string(StateQueued)})
+		s.publish(j, events.Event{Type: events.TypeState, State: string(StateQueued)})
+		j.logInfo("job preempted at checkpoint boundary", "preemptions", j.preempts)
+		s.sched.ForcePush(j.tenant, j.class, j.cost, j)
 	case errors.Is(err, context.Canceled):
 		msg := "canceled"
 		if s.draining {
@@ -1023,6 +1235,15 @@ func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
 	j.state = state
 	j.err = msg
 	j.finished = time.Now()
+	s.limiter.Release(j.tenant)
+	tenant, class := j.tenant, j.class
+	if tenant == "" {
+		tenant = qos.DefaultTenant
+	}
+	if class == "" {
+		class = qos.ClassBatch
+	}
+	s.reg.Counter(obs.Labeled("serd/tenant/jobs_"+string(state), "tenant", tenant, "class", class)).Inc()
 	switch state {
 	case StateDone:
 		s.reg.Counter("serd/jobs/completed").Inc()
@@ -1030,6 +1251,10 @@ func (s *Server) finalizeLocked(j *job, state JobState, msg string) {
 			s.latency("run").Observe(j.finished.Sub(j.started).Seconds())
 		}
 		s.latency("admission_to_done").Observe(j.finished.Sub(j.submitted).Seconds())
+		s.reg.Histogram(
+			obs.Labeled("serd/tenant/admission_to_done_seconds", "tenant", tenant, "class", class),
+			obs.ExpBuckets(0.001, 2, 20),
+		).Observe(j.finished.Sub(j.submitted).Seconds())
 	case StateFailed:
 		s.reg.Counter("serd/jobs/failed").Inc()
 	case StateCanceled:
@@ -1086,7 +1311,7 @@ func (s *Server) runPipeline(ctx context.Context, j *job) (*JobResult, error) {
 	res := &JobResult{Vdd: cfg.Vdd}
 	dst := map[string]*finser.FITResult{"alpha": &res.Alpha, "proton": &res.Proton}
 	for _, st := range speciesStages {
-		br := s.breakers[st.name]
+		br := s.breakerFor(j.tenant, st.name)
 		sp := st.sp
 		out := dst[st.name]
 		if err := s.retryStage(ctx, j, st.name, func(ctx context.Context) error {
@@ -1222,12 +1447,48 @@ type errorBody struct {
 // writeUnavailable writes a 503 with the Retry-After hint — the load-shed
 // contract: callers back off and resubmit instead of piling on.
 func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
+	secs := s.retryAfterHint()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: msg, RetryAfterSeconds: secs})
+}
+
+// retryAfterHint is the load-aware 503 back-off, in whole seconds: the
+// estimated time for the worker pool to drain the current backlog (queue
+// depth + running jobs, at the observed mean job runtime), clamped to
+// [1s, RetryAfterMax]. Before any job has completed — no runtime signal —
+// it falls back to the configured RetryAfter constant, preserving the
+// original header contract.
+func (s *Server) retryAfterHint() int {
 	secs := int(s.cfg.RetryAfter / time.Second)
+	if h := s.latency("run"); h.Count() > 0 {
+		backlog := float64(s.sched.Len()) + float64(s.running.Load())
+		workers := float64(s.cfg.Workers)
+		if est := h.Mean() * (backlog + 1) / workers; est > 0 && !math.IsNaN(est) {
+			secs = int(math.Ceil(est))
+		}
+	}
+	if max := int(s.cfg.RetryAfterMax / time.Second); secs > max && max > 0 {
+		secs = max
+	}
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: msg, RetryAfterSeconds: secs})
+	return secs
+}
+
+// writeTooManyRequests writes a per-tenant 429 — "you are over budget",
+// deliberately distinct from the global 503 "the server is full". Rate
+// rejections carry a Retry-After naming the token refill time.
+func writeTooManyRequests(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	secs := 0
+	if retryAfter > 0 {
+		secs = int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: secs})
 }
 
 // maxSubmitBytes bounds the submit request body. A job request is a small
@@ -1250,7 +1511,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	st, deduped, err := s.SubmitIdem(req, r.Header.Get("Idempotency-Key"))
+	st, deduped, err := s.SubmitTenant(req, r.Header.Get("Idempotency-Key"), r.Header.Get("X-Tenant"))
+	var rateErr *qos.RateError
+	var quotaErr *qos.QuotaError
 	switch {
 	case err == nil && deduped:
 		// The job already exists: 200 (not 202) tells the retrying client
@@ -1258,6 +1521,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
+	case errors.As(err, &rateErr):
+		writeTooManyRequests(w, err, rateErr.RetryAfter)
+	case errors.As(err, &quotaErr):
+		writeTooManyRequests(w, err, 0)
 	case errors.Is(err, ErrQueueFull):
 		s.writeUnavailable(w, err.Error())
 	case errors.Is(err, ErrDraining):
