@@ -12,6 +12,7 @@ package finser
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"finser/internal/logic"
 	"finser/internal/phys"
@@ -193,6 +194,68 @@ func BenchmarkFig9FITvsVdd(b *testing.B) {
 	b.ReportMetric(p11.TotalFIT/a11.TotalFIT, "proton/alpha@1.1V")
 	b.ReportMetric(a07.TotalFIT/a11.TotalFIT, "alpha-vdd-slope")
 	b.ReportMetric(p07.TotalFIT/p11.TotalFIT, "proton-vdd-slope")
+}
+
+// BenchmarkAdaptiveFIT times the confidence-driven sampler on the Fig. 9
+// workload at paper-scale per-bin budgets: the flat reference spends
+// ItersPerBin particles in every bin, the adaptive run stops each bin at a
+// 2% weight-scaled tolerance. Reports the wall-clock speedup, the fraction
+// of the particle budget spent, and the relative FIT deviation (which must
+// sit inside the reference's confidence interval — speed bought with
+// accuracy is no speedup).
+func BenchmarkAdaptiveFIT(b *testing.B) {
+	chars := benchFixtures(b)
+	alphaSpec, _ := NewAlphaSpectrum(DefaultAlphaRate)
+	ab, _ := Bins(alphaSpec, 0.5, 10, 8)
+	const itersPerBin = 240000
+	mk := func(relErr float64) *Engine {
+		e, err := NewEngine(EngineConfig{
+			Tech: Default14nmSOI(), Rows: 9, Cols: 9,
+			Char: ch0(b, chars), Transport: DefaultTransport(), FITRelErr: relErr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	var flat, ad FITResult
+	var flatNs, adNs int64
+	for i := 0; i < b.N; i++ {
+		t0 := nowNano()
+		var err error
+		if flat, err = mk(0).FIT(alphaSpec, ab, itersPerBin, 5); err != nil {
+			b.Fatal(err)
+		}
+		t1 := nowNano()
+		if ad, err = mk(0.02).FIT(alphaSpec, ab, itersPerBin, 5); err != nil {
+			b.Fatal(err)
+		}
+		flatNs += t1 - t0
+		adNs += nowNano() - t1
+	}
+	spent := 0
+	for _, pt := range ad.Points {
+		spent += pt.Strikes
+	}
+	dev := ad.TotalFIT - flat.TotalFIT
+	if dev < 0 {
+		dev = -dev
+	}
+	b.ReportMetric(float64(flatNs)/float64(adNs), "speedup-x")
+	b.ReportMetric(float64(spent)/float64(itersPerBin*len(ab)), "budget-frac")
+	b.ReportMetric(dev/flat.TotalFITErr, "fit-dev-sigma")
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// ch0 picks the 0.7 V PV characterization from the bench fixtures.
+func ch0(b *testing.B, chars map[string]*Characterization) *Characterization {
+	b.Helper()
+	ch := chars[key(0.7, true)]
+	if ch == nil {
+		b.Fatal("missing 0.7 V characterization")
+	}
+	return ch
 }
 
 // BenchmarkFig10MBUSEU regenerates the MBU/SEU ratios at 0.7 V.

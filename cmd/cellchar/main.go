@@ -33,6 +33,7 @@ func main() {
 		mode     = flag.Bool("read", false, "compare hold-mode vs read-mode critical charges")
 		eightT   = flag.Bool("cell8t", false, "compare the 6T cell against the 8T read-decoupled cell")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		relErr   = flag.Float64("fit-rel-err", 0, "after characterization, run a 9×9 adaptive array-FIT summary at this per-bin relative tolerance, in (0, 0.5] (0 = off)")
 		out      = flag.String("out", "", "write the characterization JSON to this file")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot (solver and characterization counters) to this file")
 		guardStr = flag.String("guard", "warn", "physics-invariant enforcement: off|warn|strict (strict fails the run on the first violation)")
@@ -116,6 +117,13 @@ func main() {
 		fmt.Printf("%12.4f %8.4f\n", q*1e15, ch.POFSingle(sram.AxisI1, q))
 	}
 
+	if *relErr != 0 {
+		if !(*relErr > 0 && *relErr <= 0.5) {
+			log.Fatalf("-fit-rel-err must be in (0, 0.5], got %g", *relErr)
+		}
+		runAdaptiveFITSummary(ch, *vdd, *samples, *pv, *seed, *relErr, reg)
+	}
+
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -126,6 +134,45 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// runAdaptiveFITSummary reuses the characterization just computed to run a
+// small 9×9 array FIT under the adaptive sampler, reporting how the
+// confidence-driven budget was spent per species.
+func runAdaptiveFITSummary(ch *finser.Characterization, vdd float64, samples int, pv bool, seed uint64, relErr float64, reg *finser.Metrics) {
+	cfg := finser.FlowConfig{
+		Vdd:              vdd,
+		Rows:             9,
+		Cols:             9,
+		ProcessVariation: pv,
+		Samples:          samples,
+		ItersPerBin:      4000,
+		FITRelErr:        relErr,
+		Seed:             seed,
+		Obs:              reg,
+	}
+	res, err := finser.RunFlowWithChar(cfg, ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadaptive 9×9 array FIT (rel-err target %g, flat budget %d/bin):\n", relErr, cfg.ItersPerBin)
+	fmt.Printf("%8s %14s %10s %14s\n", "species", "FIT (a.u.)", "converged", "strikes saved")
+	for _, s := range []struct {
+		name string
+		fit  finser.FITResult
+	}{
+		{"alpha", res.Alpha},
+		{"proton", res.Proton},
+	} {
+		converged, saved := 0, 0
+		for _, c := range s.fit.Conv {
+			if c.Converged {
+				converged++
+			}
+			saved += c.StrikesSaved
+		}
+		fmt.Printf("%8s %14.4g %7d/%-2d %14d\n", s.name, s.fit.TotalFIT, converged, len(s.fit.Conv), saved)
 	}
 }
 

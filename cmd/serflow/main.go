@@ -66,6 +66,7 @@ func main() {
 		pv       = flag.Bool("pv", true, "model threshold-voltage process variation")
 		samples  = flag.Int("samples", 200, "process-variation Monte-Carlo samples")
 		iters    = flag.Int("iters", 30000, "array-MC particles per energy bin")
+		relErr   = flag.Float64("fit-rel-err", 0, "adaptive FIT: stop each energy bin once its POF confidence interval is inside this relative tolerance, in (0, 0.5] (0 = flat -iters budget); result-determining, so it is part of the checkpoint fingerprint")
 		pattern  = flag.String("pattern", "zeros", "stored data pattern: zeros|ones|checkerboard")
 		neut     = flag.Bool("neutron", false, "also estimate neutron-induced (indirect) SER")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -81,7 +82,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, vdds, err := buildConfig(*vddList, *rows, *cols, *pv, *samples, *iters, *pattern, *seed)
+	cfg, vdds, err := buildConfig(*vddList, *rows, *cols, *pv, *samples, *iters, *relErr, *pattern, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func writeFileAtomic(path string, write func(io.Writer) error) error {
 // buildConfig validates the raw flag values up front — bad budgets or array
 // dimensions fail here with a clear message instead of panicking (or
 // silently misbehaving) layers deeper.
-func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, pattern string, seed uint64) (finser.FlowConfig, []float64, error) {
+func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, relErr float64, pattern string, seed uint64) (finser.FlowConfig, []float64, error) {
 	vdds, err := parseVdds(vddList)
 	if err != nil {
 		return finser.FlowConfig{}, nil, err
@@ -294,6 +295,9 @@ func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, pa
 	if iters <= 0 {
 		return finser.FlowConfig{}, nil, fmt.Errorf("-iters must be positive, got %d", iters)
 	}
+	if relErr != 0 && !(relErr > 0 && relErr <= 0.5) {
+		return finser.FlowConfig{}, nil, fmt.Errorf("-fit-rel-err must be in (0, 0.5], got %g", relErr)
+	}
 	pat, err := parsePattern(pattern)
 	if err != nil {
 		return finser.FlowConfig{}, nil, err
@@ -304,6 +308,7 @@ func buildConfig(vddList string, rows, cols int, pv bool, samples, iters int, pa
 		ProcessVariation: pv,
 		Samples:          samples,
 		ItersPerBin:      iters,
+		FITRelErr:        relErr,
 		Pattern:          pat,
 		Seed:             seed,
 	}, vdds, nil

@@ -101,6 +101,10 @@ type (
 	AdaptiveSpec = core.AdaptiveSpec
 	// AdaptivePOF is a POF estimate with convergence metadata.
 	AdaptivePOF = core.AdaptivePOF
+	// BinConv is one FIT energy bin's convergence record under the adaptive
+	// mode (FlowConfig.FITRelErr > 0): achieved relative error, weight-scaled
+	// tolerance, consumed batches, and strikes saved versus the flat budget.
+	BinConv = core.BinConv
 	// PairKey is the row/column separation of an upset cell pair.
 	PairKey = core.PairKey
 	// ECCScheme describes word organization for interleaving analysis.
@@ -383,6 +387,17 @@ type FlowConfig struct {
 	// ItersPerBin is the array-MC particle count per energy bin.
 	// Zero selects 50000.
 	ItersPerBin int
+	// FITRelErr, when > 0, switches both species' FIT integrations to
+	// confidence-driven adaptive sampling: each energy bin streams its
+	// particles in batches of ItersPerBin/10 and stops as soon as its POF
+	// confidence interval is inside this relative tolerance (scaled by the
+	// bin's flux weight in the FIT integral), up to a hard per-bin cap of 4×
+	// the flat budget. ItersPerBin becomes the flat reference budget. Valid
+	// values are in (0, 0.5]; the tolerance is result-determining and part
+	// of the flow fingerprint, so a fixed config stays bit-identical across
+	// runs, worker counts, checkpoint resume, and distributed shard merges.
+	// Zero (the default) keeps the exact flat-budget integration.
+	FITRelErr float64
 	// AlphaRate is the alpha emission rate in α/(cm²·h); zero selects the
 	// paper's 0.001.
 	AlphaRate float64
@@ -493,6 +508,11 @@ func (c FlowConfig) withDefaults() (FlowConfig, error) {
 	}
 	if !c.Pattern.Valid() {
 		return c, &ConfigError{Field: "Pattern", Reason: fmt.Sprintf("unknown (%d)", c.Pattern)}
+	}
+	if c.FITRelErr != 0 && !(c.FITRelErr > 0 && c.FITRelErr <= 0.5) {
+		// Above 0.5 the "converged" estimate would be noise; negative or NaN
+		// tolerances are always mistakes.
+		return c, &ConfigError{Field: "FITRelErr", Reason: fmt.Sprintf("must be in (0, 0.5], got %g", c.FITRelErr)}
 	}
 	if c.Tech.Name == "" {
 		c.Tech = Default14nmSOI()
@@ -623,6 +643,7 @@ func buildFlowEngine(cfg FlowConfig, char *Characterization, flow *obs.Span) (*E
 		Transport: transportCfg,
 		Pattern:   cfg.Pattern,
 		Workers:   cfg.Workers,
+		FITRelErr: cfg.FITRelErr,
 		Metrics:   core.NewMetrics(cfg.Obs),
 		Progress:  cfg.Progress,
 		OnBinDone: cfg.BinDone,
@@ -792,9 +813,18 @@ func SpeciesSeedSchedule(cfg FlowConfig, sp Species) ([]uint64, error) {
 // produce for the same bins; a coordinator merges complete shard sets with
 // AssembleSpeciesFIT.
 func SpeciesShardPOFCtx(ctx context.Context, cfg FlowConfig, char *Characterization, sp Species, from, to int) ([]POFPoint, error) {
+	pts, _, err := SpeciesShardPOFConvCtx(ctx, cfg, char, sp, from, to)
+	return pts, err
+}
+
+// SpeciesShardPOFConvCtx is SpeciesShardPOFCtx returning the per-bin
+// convergence records alongside the points when cfg.FITRelErr > 0 (nil
+// under the flat budget) — the shard entry a distributed worker uses so the
+// coordinator can carry each bin's convergence state through the merge.
+func SpeciesShardPOFConvCtx(ctx context.Context, cfg FlowConfig, char *Characterization, sp Species, from, to int) ([]POFPoint, []BinConv, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	flow := cfg.Obs.StartSpan("flow")
 	defer flow.End()
@@ -804,19 +834,19 @@ func SpeciesShardPOFCtx(ctx context.Context, cfg FlowConfig, char *Characterizat
 	cfg.Checkpoint = nil
 	eng, err := buildFlowEngine(cfg, char, flow)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	_, bins, seed, err := speciesEnv(cfg, sp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	shardSpan := flow.Child(fmt.Sprintf("shard-%s-%d-%d", speciesName(sp), from, to))
-	pts, err := eng.POFBinsCtx(ctx, sp, bins, cfg.ItersPerBin, core.FITSeedSchedule(seed, len(bins)), from, to)
+	pts, conv, err := eng.POFBinsConvCtx(ctx, sp, bins, cfg.ItersPerBin, core.FITSeedSchedule(seed, len(bins)), from, to)
 	shardSpan.End()
 	if err != nil {
-		return nil, fmt.Errorf("finser: %s shard [%d,%d): %w", speciesName(sp), from, to, err)
+		return nil, nil, fmt.Errorf("finser: %s shard [%d,%d): %w", speciesName(sp), from, to, err)
 	}
-	return pts, nil
+	return pts, conv, nil
 }
 
 // AssembleSpeciesFIT folds per-bin POF points into one species' FIT result
@@ -949,7 +979,10 @@ type flowFingerprint struct {
 	ProcessVariation bool
 	Samples          int
 	ItersPerBin      int
-	AlphaRate        float64
+	// FITRelErr selects the adaptive FIT mode and its tolerance; it decides
+	// which batches each bin consumes, so it is result-determining.
+	FITRelErr float64
+	AlphaRate float64
 	ProtonScale      float64
 	AlphaBins        int
 	ProtonBins       int
@@ -981,6 +1014,7 @@ func flowConfigFingerprint(cfg FlowConfig, vdds []float64) (string, error) {
 		ProcessVariation: c.ProcessVariation,
 		Samples:          c.Samples,
 		ItersPerBin:      c.ItersPerBin,
+		FITRelErr:        c.FITRelErr,
 		AlphaRate:        c.AlphaRate,
 		ProtonScale:      c.ProtonScale,
 		AlphaBins:        c.AlphaBins,

@@ -3,10 +3,10 @@ package core
 import (
 	"context"
 	"errors"
-	"math"
 
 	"finser/internal/phys"
 	"finser/internal/rng"
+	"finser/internal/stats"
 )
 
 // Adaptive Monte-Carlo: instead of a fixed particle budget, run batches
@@ -15,6 +15,82 @@ import (
 // particles than saturated points; fixed budgets either waste work or
 // under-resolve. The paper side-steps this with a flat 10 M iterations —
 // this estimator gets equal precision for a fraction of the strikes.
+//
+// BinEstimator below is the one convergence implementation: the single-point
+// POFAtEnergyAdaptive API and the whole-integration adaptive FIT mode
+// (Config.FITRelErr, see adaptivefit.go) both stream their batches through
+// it.
+
+// BinEstimator is a streaming per-bin convergence estimator: it folds
+// fixed-size Monte-Carlo batch estimates into pooled Welford moments of
+// POFtot, exposing the running mean, standard error, and relative error
+// that drive every adaptive stopping rule in core. It is a plain value
+// type — zero value ready, no heap allocation, and merges in call order, so
+// feeding it the same batch sequence always reproduces the same bits.
+type BinEstimator struct {
+	energyMeV float64
+	tot       stats.Welford
+	// The secondary channels only need pooled means (no stopping rule reads
+	// their variance), so plain strike-weighted sums suffice.
+	sumSEU, sumMBU, sumHits float64
+	strikes                 int
+	batches                 int
+}
+
+// AddBatch folds one batch estimate into the stream. The batch's
+// (Strikes, Tot, TotStdErr) summary is converted back into Welford moments
+// — variance = se²·n, m2 = variance·(n−1) — and merged, so the pooled mean
+// and standard error are those of the concatenated per-strike stream.
+func (b *BinEstimator) AddBatch(pt POFPoint) {
+	n := int64(pt.Strikes)
+	variance := pt.TotStdErr * pt.TotStdErr * float64(n)
+	b.tot.Merge(stats.WelfordFromMoments(n, pt.Tot, variance*float64(n-1)))
+	nf := float64(pt.Strikes)
+	b.sumSEU += pt.SEU * nf
+	b.sumMBU += pt.MBU * nf
+	b.sumHits += pt.HitFrac * nf
+	b.strikes += pt.Strikes
+	b.batches++
+	b.energyMeV = pt.EnergyMeV
+}
+
+// Batches returns how many batches have been folded in.
+func (b *BinEstimator) Batches() int { return b.batches }
+
+// Strikes returns the total particles consumed so far.
+func (b *BinEstimator) Strikes() int { return b.strikes }
+
+// Mean returns the pooled POFtot mean.
+func (b *BinEstimator) Mean() float64 { return b.tot.Mean() }
+
+// StdErr returns the pooled standard error of the POFtot mean.
+func (b *BinEstimator) StdErr() float64 { return b.tot.StdErr() }
+
+// RelErr returns stderr/mean of POFtot, the convergence figure of merit
+// (0 while the mean is zero — callers gate on Mean() > 0 separately).
+func (b *BinEstimator) RelErr() float64 {
+	if m := b.tot.Mean(); m > 0 {
+		return b.tot.StdErr() / m
+	}
+	return 0
+}
+
+// Point renders the pooled estimate as a POFPoint.
+func (b *BinEstimator) Point() POFPoint {
+	if b.strikes == 0 {
+		return POFPoint{EnergyMeV: b.energyMeV}
+	}
+	nf := float64(b.strikes)
+	return POFPoint{
+		EnergyMeV: b.energyMeV,
+		Tot:       b.tot.Mean(),
+		SEU:       b.sumSEU / nf,
+		MBU:       b.sumMBU / nf,
+		TotStdErr: b.tot.StdErr(),
+		Strikes:   b.strikes,
+		HitFrac:   b.sumHits / nf,
+	}
+}
 
 // AdaptiveSpec controls the stopping rule.
 type AdaptiveSpec struct {
@@ -64,67 +140,25 @@ func (e *Engine) POFAtEnergyAdaptive(sp phys.Species, energyMeV float64, spec Ad
 
 // POFAtEnergyAdaptiveCtx is POFAtEnergyAdaptive with cooperative
 // cancellation between (and inside) batches; worker panics surface as
-// stack-carrying errors instead of crashing the process.
+// stack-carrying errors instead of crashing the process. Batch seeds are
+// drawn sequentially from rng.New(seed), so the estimate for a fixed
+// (spec, seed, workers) is bit-identical across runs.
 func (e *Engine) POFAtEnergyAdaptiveCtx(ctx context.Context, sp phys.Species, energyMeV float64, spec AdaptiveSpec, seed uint64) (AdaptivePOF, error) {
 	spec = spec.withDefaults()
 	if energyMeV <= 0 {
 		return AdaptivePOF{}, errors.New("core: adaptive POF needs positive energy")
 	}
 	src := rng.New(seed)
-	var agg POFPoint
-	total := 0
-	// Welford-style aggregation across batches via weighted means; batch
-	// estimates are independent, so standard errors combine as
-	// se² → se²·(n_batch/n_total) when means are pooled.
-	var sumTot, sumSEU, sumMBU, sumHits float64
-	var sumSqTot float64
-	for total < spec.MaxStrikes {
+	var est BinEstimator
+	for est.Strikes() < spec.MaxStrikes {
 		pt, err := e.POFAtEnergyCtx(ctx, sp, energyMeV, spec.BatchSize, src.Uint64())
 		if err != nil {
 			return AdaptivePOF{}, err
 		}
-		n := float64(spec.BatchSize)
-		sumTot += pt.Tot * n
-		sumSEU += pt.SEU * n
-		sumMBU += pt.MBU * n
-		sumHits += pt.HitFrac * n
-		// Accumulate the per-strike second moment from the batch stderr:
-		// Var ≈ n·se² + mean² (per-strike), so Σx² ≈ n·(n·se² + mean²).
-		sumSqTot += n * (n*pt.TotStdErr*pt.TotStdErr + pt.Tot*pt.Tot)
-		total += spec.BatchSize
-
-		mean := sumTot / float64(total)
-		variance := sumSqTot/float64(total) - mean*mean
-		if variance < 0 {
-			variance = 0
-		}
-		se := 0.0
-		if total > 1 {
-			se = sqrt(variance / float64(total))
-		}
-		agg = POFPoint{
-			EnergyMeV: energyMeV,
-			Tot:       mean,
-			SEU:       sumSEU / float64(total),
-			MBU:       sumMBU / float64(total),
-			TotStdErr: se,
-			Strikes:   total,
-			HitFrac:   sumHits / float64(total),
-		}
-		if total >= spec.MinStrikes && mean > 0 && se/mean <= spec.TargetRelErr {
-			return AdaptivePOF{POFPoint: agg, Converged: true, RelErr: se / mean}, nil
+		est.AddBatch(pt)
+		if est.Strikes() >= spec.MinStrikes && est.Mean() > 0 && est.RelErr() <= spec.TargetRelErr {
+			return AdaptivePOF{POFPoint: est.Point(), Converged: true, RelErr: est.RelErr()}, nil
 		}
 	}
-	rel := 0.0
-	if agg.Tot > 0 {
-		rel = agg.TotStdErr / agg.Tot
-	}
-	return AdaptivePOF{POFPoint: agg, Converged: false, RelErr: rel}, nil
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
+	return AdaptivePOF{POFPoint: est.Point(), Converged: false, RelErr: est.RelErr()}, nil
 }

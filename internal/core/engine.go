@@ -138,6 +138,17 @@ type Config struct {
 	Incidence *Incidence
 	// Workers bounds MC parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// FITRelErr, when > 0, switches the FIT integration to confidence-driven
+	// adaptive sampling (see adaptivefit.go): each energy bin consumes its
+	// particle stream in fixed batches of itersPerBin/10 and stops once its
+	// POFtot confidence interval is inside this relative tolerance, scaled
+	// by the bin's flux weight in the FIT integral, up to a hard cap of 4×
+	// the flat budget. ItersPerBin becomes the flat reference budget the
+	// batches are sized from. The tolerance is result-determining (part of
+	// the flow fingerprint): a fixed config stays bit-identical across runs,
+	// checkpoint resume, and the distributed shard merge. Zero (the default)
+	// keeps the exact flat-budget integration.
+	FITRelErr float64
 	// Metrics, when non-nil, receives engine counters (particles, hit/miss,
 	// struck-cell multiplicity, worker utilization) and per-stage FIT
 	// spans. Nil (the default) costs one pointer check per strike.
@@ -741,6 +752,10 @@ type FITResult struct {
 	MBUToSEU float64
 	Points   []POFPoint // per-bin POFs, aligned with Bins
 	Bins     []spectra.EnergyBin
+	// Conv carries per-bin convergence records, aligned with Points, when
+	// the integration ran in adaptive mode (Config.FITRelErr > 0); nil under
+	// the flat budget.
+	Conv []BinConv
 }
 
 // fitScale converts POF·flux[/(cm²·s)]·area[cm²] into FIT
@@ -769,6 +784,10 @@ type BinEvent struct {
 	// Resumed marks bins restored from a checkpoint rather than computed in
 	// this call.
 	Resumed bool
+	// Adaptive marks events from an adaptive integration (Config.FITRelErr
+	// > 0); Conv then carries the bin's convergence record.
+	Adaptive bool
+	Conv     BinConv
 }
 
 // fitState is the per-stage checkpoint payload: the full pre-drawn per-bin
@@ -779,6 +798,13 @@ type fitState struct {
 	ItersPerBin int        `json:"iters_per_bin"`
 	Seeds       []uint64   `json:"seeds"`
 	Points      []POFPoint `json:"points"`
+	// RelErr records the adaptive tolerance the run was taken under (0 for
+	// the flat budget); resuming under a different tolerance is rejected.
+	RelErr float64 `json:"rel_err,omitempty"`
+	// Conv records per-bin consumed-batch counts and convergence state in
+	// adaptive mode, aligned with Points — what makes a resumed adaptive
+	// integration replay the interrupted one bit-identically.
+	Conv []BinConv `json:"conv,omitempty"`
 }
 
 // FIT runs the full Eq. 8 integration: per energy bin, estimate the POF
@@ -819,7 +845,13 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	// function of (seed, k).
 	seeds := FITSeedSchedule(seed, len(bins))
 
-	state := fitState{ItersPerBin: itersPerBin, Seeds: seeds}
+	adaptive := e.cfg.FITRelErr > 0
+	var tols []float64
+	if adaptive {
+		tols = adaptiveTols(bins, e.cfg.FITRelErr)
+	}
+
+	state := fitState{ItersPerBin: itersPerBin, Seeds: seeds, RelErr: e.cfg.FITRelErr}
 	ckStage := e.cfg.CheckpointPrefix + stage
 	if e.cfg.Checkpoint != nil {
 		var prev fitState
@@ -833,18 +865,26 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 			}
 			// Restored points crossed a disk boundary: re-check them as if
 			// they were freshly computed.
-			for _, pt := range prev.Points {
+			for i, pt := range prev.Points {
 				if err := checkPOFPoint(e.cfg.Guard, stage+" (resumed)", pt); err != nil {
 					return FITResult{}, err
 				}
+				if adaptive {
+					if err := CheckBinConv(prev.Conv[i], pt); err != nil {
+						return FITResult{}, fmt.Errorf("core: %s: checkpoint: %w", ckStage, err)
+					}
+				}
 			}
 			state.Points = prev.Points
+			state.Conv = prev.Conv
 		}
 	}
 
 	tracker := obs.NewTracker(e.cfg.Progress, stage, int64(len(bins)*itersPerBin), 0)
 	defer tracker.Finish()
-	tracker.Add(int64(len(state.Points) * itersPerBin)) // bins restored from checkpoint
+	for _, pt := range state.Points { // bins restored from checkpoint
+		tracker.Add(int64(pt.Strikes))
+	}
 
 	lx, ly := e.arr.DimsCm()
 	area := lx * ly
@@ -856,7 +896,11 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 		// sum.
 		for i, pt := range state.Points {
 			fitSoFar += pt.Tot * bins[i].IntFlux * area * fitScale
-			emitBin(BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar, Resumed: true})
+			ev := BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar, Resumed: true}
+			if adaptive {
+				ev.Adaptive, ev.Conv = true, state.Conv[i]
+			}
+			emitBin(ev)
 		}
 	}
 
@@ -866,16 +910,26 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 		}
 		b := bins[i]
 		binSpan := fitSpan.Child(fmt.Sprintf("bin%02d@%.3gMeV", i, b.Rep))
-		pt, err := e.POFAtEnergyCtx(ctx, spec.Species(), b.Rep, itersPerBin, seeds[i])
+		var pt POFPoint
+		var conv BinConv
+		var err error
+		if adaptive {
+			pt, conv, err = e.adaptivePOFBin(ctx, spec.Species(), b.Rep, itersPerBin, seeds[i], tols[i])
+		} else {
+			pt, err = e.POFAtEnergyCtx(ctx, spec.Species(), b.Rep, itersPerBin, seeds[i])
+		}
 		binSpan.End()
 		if err != nil {
 			return FITResult{}, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
 		}
-		tracker.Add(int64(itersPerBin))
+		tracker.Add(int64(pt.Strikes))
 		state.Points = append(state.Points, pt)
+		if adaptive {
+			state.Conv = append(state.Conv, conv)
+		}
 		if emitBin != nil {
 			fitSoFar += pt.Tot * b.IntFlux * area * fitScale
-			emitBin(BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar})
+			emitBin(BinEvent{Stage: stage, Bin: i + 1, Bins: len(bins), Point: pt, FITSoFar: fitSoFar, Adaptive: adaptive, Conv: conv})
 		}
 		if e.cfg.Checkpoint != nil {
 			if err := e.cfg.Checkpoint.Save(ckStage, state); err != nil {
@@ -889,6 +943,7 @@ func (e *Engine) FITCtx(ctx context.Context, spec spectra.Spectrum, bins []spect
 	// checkpoint, or (via AssembleFIT's other callers) merged from
 	// distributed shards.
 	res = AssembleFIT(spec.Species(), res.Vdd, bins, state.Points, area)
+	res.Conv = state.Conv
 	if g := e.cfg.Guard; g.Enabled() {
 		for _, c := range []struct {
 			name string
@@ -926,30 +981,62 @@ func FITSeedSchedule(seed uint64, nBins int) []uint64 {
 // bins. A worker computing bins [from,to) with the job's seed schedule
 // produces points bit-identical to the single-node integration, so a
 // coordinator can merge shards from many machines with AssembleFIT and land
-// on the same FITResult to the last bit.
+// on the same FITResult to the last bit. It is POFBinsConvCtx minus the
+// convergence records.
 func (e *Engine) POFBinsCtx(ctx context.Context, sp phys.Species, bins []spectra.EnergyBin, itersPerBin int, seeds []uint64, from, to int) ([]POFPoint, error) {
+	pts, _, err := e.POFBinsConvCtx(ctx, sp, bins, itersPerBin, seeds, from, to)
+	return pts, err
+}
+
+// POFBinsConvCtx is POFBinsCtx returning per-bin convergence records
+// alongside the points when the engine runs in adaptive mode
+// (Config.FITRelErr > 0); conv is nil under the flat budget. The adaptive
+// stopping rule depends only on each bin's own batch stream plus the flux
+// weights of the full bin plan — both pure functions of the job config — so
+// a shard worker reaches exactly the decisions the single-node adaptive
+// FITCtx loop reaches, and the merge stays bit-identical.
+func (e *Engine) POFBinsConvCtx(ctx context.Context, sp phys.Species, bins []spectra.EnergyBin, itersPerBin int, seeds []uint64, from, to int) ([]POFPoint, []BinConv, error) {
 	if len(seeds) != len(bins) {
-		return nil, fmt.Errorf("core: POF bins: %d seeds for %d bins", len(seeds), len(bins))
+		return nil, nil, fmt.Errorf("core: POF bins: %d seeds for %d bins", len(seeds), len(bins))
 	}
 	if from < 0 || to > len(bins) || from >= to {
-		return nil, fmt.Errorf("core: POF bins: bad shard range [%d,%d) over %d bins", from, to, len(bins))
+		return nil, nil, fmt.Errorf("core: POF bins: bad shard range [%d,%d) over %d bins", from, to, len(bins))
 	}
 	if itersPerBin <= 0 {
-		return nil, errors.New("core: POF bins needs positive iterations per bin")
+		return nil, nil, errors.New("core: POF bins needs positive iterations per bin")
+	}
+	adaptive := e.cfg.FITRelErr > 0
+	var tols []float64
+	if adaptive {
+		tols = adaptiveTols(bins, e.cfg.FITRelErr)
 	}
 	stage := "fit/" + sp.String()
 	out := make([]POFPoint, 0, to-from)
+	var convs []BinConv
+	if adaptive {
+		convs = make([]BinConv, 0, to-from)
+	}
 	for i := from; i < to; i++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+			return nil, nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
 		}
-		pt, err := e.POFAtEnergyCtx(ctx, sp, bins[i].Rep, itersPerBin, seeds[i])
+		var pt POFPoint
+		var err error
+		if adaptive {
+			var conv BinConv
+			pt, conv, err = e.adaptivePOFBin(ctx, sp, bins[i].Rep, itersPerBin, seeds[i], tols[i])
+			if err == nil {
+				convs = append(convs, conv)
+			}
+		} else {
+			pt, err = e.POFAtEnergyCtx(ctx, sp, bins[i].Rep, itersPerBin, seeds[i])
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
+			return nil, nil, fmt.Errorf("core: %s bin %d: %w", stage, i, err)
 		}
 		out = append(out, pt)
 	}
-	return out, nil
+	return out, convs, nil
 }
 
 // AssembleFIT folds per-bin POF points into the Eq. 8 FIT integral —
@@ -992,6 +1079,15 @@ func ArrayAreaCm2(tech finfet.Technology, rows, cols int) (float64, error) {
 func compatibleFITState(prev, cur fitState, nBins int) error {
 	if prev.ItersPerBin != cur.ItersPerBin {
 		return fmt.Errorf("iters per bin changed: checkpoint %d, run %d", prev.ItersPerBin, cur.ItersPerBin)
+	}
+	if prev.RelErr != cur.RelErr {
+		// The adaptive tolerance is result-determining: a flat checkpoint
+		// cannot seed an adaptive run or vice versa, and two tolerances
+		// consume different batch streams.
+		return fmt.Errorf("FIT tolerance changed: checkpoint %g, run %g", prev.RelErr, cur.RelErr)
+	}
+	if cur.RelErr > 0 && len(prev.Conv) != len(prev.Points) {
+		return fmt.Errorf("checkpoint has %d convergence records for %d completed bins", len(prev.Conv), len(prev.Points))
 	}
 	if len(prev.Seeds) != len(cur.Seeds) {
 		return fmt.Errorf("bin count changed: checkpoint %d, run %d", len(prev.Seeds), len(cur.Seeds))

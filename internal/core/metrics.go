@@ -29,6 +29,14 @@ type Metrics struct {
 	WorkerBusyNs      *obs.Counter
 	WallNs            *obs.Counter
 	WorkerUtilization *obs.Gauge
+	// AdaptiveEarlyStops counts FIT bins the adaptive mode (Config.FITRelErr)
+	// terminated before consuming their flat budget; AdaptiveStrikesSaved and
+	// AdaptiveStrikesOverrun accumulate the particles saved under — and spent
+	// beyond — the flat per-bin budget, so saved − overrun is the net win
+	// versus a flat run.
+	AdaptiveEarlyStops     *obs.Counter
+	AdaptiveStrikesSaved   *obs.Counter
+	AdaptiveStrikesOverrun *obs.Counter
 
 	reg *obs.Registry // for FIT stage spans; nil disables them
 }
@@ -49,6 +57,9 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		WorkerBusyNs:           r.Counter("core.worker_busy_ns"),
 		WallNs:                 r.Counter("core.wall_ns"),
 		WorkerUtilization:      r.Gauge("core.worker_utilization"),
+		AdaptiveEarlyStops:     r.Counter("core/adaptive/early_stops"),
+		AdaptiveStrikesSaved:   r.Counter("core/adaptive/strikes_saved"),
+		AdaptiveStrikesOverrun: r.Counter("core/adaptive/strikes_overrun"),
 		reg:                    r,
 	}
 }

@@ -316,7 +316,8 @@ type shardState struct {
 	succeeded     bool
 	worker        string // worker that produced the accepted result
 	points        []finser.POFPoint
-	err           error // last attempt error
+	conv          []finser.BinConv // per-bin convergence state (adaptive jobs)
+	err           error            // last attempt error
 }
 
 // dispatcher owns the shard queue shared by the per-worker goroutines.
@@ -455,7 +456,7 @@ func (d *dispatcher) fail(s *shardState, wi int, err error, budget int, backoffF
 
 // accept records a successful attempt. first is true when this result won
 // the shard (merge it); false when a twin already did (discard as dup).
-func (d *dispatcher) accept(s *shardState, wi int, pts []finser.POFPoint, workerName string) (first bool) {
+func (d *dispatcher) accept(s *shardState, wi int, pts []finser.POFPoint, conv []finser.BinConv, workerName string) (first bool) {
 	d.mu.Lock()
 	defer func() {
 		d.mu.Unlock()
@@ -475,6 +476,7 @@ func (d *dispatcher) accept(s *shardState, wi int, pts []finser.POFPoint, worker
 	}
 	s.done, s.succeeded = true, true
 	s.points = pts
+	s.conv = conv
 	s.worker = workerName
 	s.err = nil
 	return true
@@ -486,6 +488,7 @@ type shardCheckpoint struct {
 	Fingerprint string            `json:"fingerprint"`
 	Worker      string            `json:"worker,omitempty"`
 	Points      []finser.POFPoint `json:"points"`
+	Conv        []finser.BinConv  `json:"conv,omitempty"`
 }
 
 func shardStage(id ShardID) string {
@@ -569,11 +572,13 @@ func (c *Coordinator) Run(ctx context.Context, flow finser.FlowConfig, emit func
 			// entries from a different job shape.
 			if prev.Fingerprint != s.req.Fingerprint ||
 				len(prev.Points) != s.id.End-s.id.Start ||
-				ValidatePoints(prev.Points) != nil {
+				ValidatePoints(prev.Points) != nil ||
+				ValidateConv(prev.Points, prev.Conv, flow.FITRelErr > 0) != nil {
 				continue
 			}
 			s.done, s.succeeded = true, true
 			s.points = prev.Points
+			s.conv = prev.Conv
 			s.worker = prev.Worker
 			if c.resumed != nil {
 				c.resumed.Inc()
@@ -625,7 +630,7 @@ func (c *Coordinator) runWorker(ctx context.Context, d *dispatcher, wi int, flow
 		}
 
 		start := c.cfg.now()
-		pts, err := c.attempt(ctx, w, s)
+		pts, conv, err := c.attempt(ctx, w, s)
 		if w.lat != nil {
 			w.lat.Observe(c.cfg.now().Sub(start).Seconds())
 		}
@@ -633,7 +638,7 @@ func (c *Coordinator) runWorker(ctx context.Context, d *dispatcher, wi int, flow
 
 		switch {
 		case err == nil:
-			if d.accept(s, wi, pts, w.url) {
+			if d.accept(s, wi, pts, conv, w.url) {
 				if c.completed != nil {
 					c.completed.Inc()
 				}
@@ -719,10 +724,11 @@ const maxShardResponse = 16 << 20
 // permanent (the request itself is bad everywhere), everything else —
 // connection failures, timeouts, 5xx, invalid payloads — is transient and
 // worth a different worker.
-func (c *Coordinator) attempt(ctx context.Context, w *worker, s *shardState) ([]finser.POFPoint, error) {
+func (c *Coordinator) attempt(ctx context.Context, w *worker, s *shardState) ([]finser.POFPoint, []finser.BinConv, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 	defer cancel()
 	var pts []finser.POFPoint
+	var conv []finser.BinConv
 	err := w.br.Do(actx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/shards", bytes.NewReader(s.body))
 		if err != nil {
@@ -746,7 +752,7 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, s *shardState) ([]
 				// for its breaker, transient for the shard.
 				return fmt.Errorf("dist: %v on %s: %w", s.id, w.name, err)
 			}
-			pts = res.Points
+			pts, conv = res.Points, res.Conv
 			return nil
 		case resp.StatusCode >= 400 && resp.StatusCode < 500:
 			return retry.Permanent(fmt.Errorf("dist: %v on %s: HTTP %d: %s",
@@ -757,9 +763,9 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, s *shardState) ([]
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return pts, nil
+	return pts, conv, nil
 }
 
 // persist saves a completed shard to the job checkpoint so a coordinator
@@ -769,7 +775,7 @@ func (c *Coordinator) persist(flow finser.FlowConfig, s *shardState, d *dispatch
 		return
 	}
 	d.mu.Lock()
-	rec := shardCheckpoint{Fingerprint: s.req.Fingerprint, Worker: s.worker, Points: s.points}
+	rec := shardCheckpoint{Fingerprint: s.req.Fingerprint, Worker: s.worker, Points: s.points, Conv: s.conv}
 	d.mu.Unlock()
 	// Best effort: a checkpoint write failure must not fail the shard the
 	// workers just computed; the merge only needs the in-memory points.
@@ -790,9 +796,11 @@ func (c *Coordinator) emitBins(flow finser.FlowConfig, id ShardID, d *dispatcher
 		binsTotal = len(b)
 	}
 	// Snapshot the species' completed bins under the dispatcher lock.
+	adaptive := flow.FITRelErr > 0
 	type binPt struct {
-		idx int
-		pt  finser.POFPoint
+		idx  int
+		pt   finser.POFPoint
+		conv finser.BinConv
 	}
 	var completedBins []binPt
 	d.mu.Lock()
@@ -801,7 +809,11 @@ func (c *Coordinator) emitBins(flow finser.FlowConfig, id ShardID, d *dispatcher
 			continue
 		}
 		for k, pt := range s.points {
-			completedBins = append(completedBins, binPt{idx: s.id.Start + k, pt: pt})
+			b := binPt{idx: s.id.Start + k, pt: pt}
+			if adaptive && k < len(s.conv) {
+				b.conv = s.conv[k]
+			}
+			completedBins = append(completedBins, b)
 		}
 	}
 	d.mu.Unlock()
@@ -831,6 +843,8 @@ func (c *Coordinator) emitBins(flow finser.FlowConfig, id ShardID, d *dispatcher
 			Bins:     binsTotal,
 			Point:    b.pt,
 			FITSoFar: soFar,
+			Adaptive: adaptive,
+			Conv:     b.conv,
 		})
 	}
 }
@@ -852,8 +866,10 @@ func (c *Coordinator) merge(flow finser.FlowConfig, shards []*shardState, emit f
 		{SpeciesProton, &res.Proton},
 	} {
 		sp, _ := Species(out.name)
+		adaptive := flow.FITRelErr > 0
 		var binIdx []int
 		var pts []finser.POFPoint
+		var conv []finser.BinConv
 		complete := true
 		for _, s := range shards {
 			if s.id.Species != out.name {
@@ -870,6 +886,9 @@ func (c *Coordinator) merge(flow finser.FlowConfig, shards []*shardState, emit f
 			for k, pt := range s.points {
 				binIdx = append(binIdx, s.id.Start+k)
 				pts = append(pts, pt)
+				if adaptive && k < len(s.conv) {
+					conv = append(conv, s.conv[k])
+				}
 			}
 		}
 		if complete {
@@ -881,6 +900,9 @@ func (c *Coordinator) merge(flow finser.FlowConfig, shards []*shardState, emit f
 		fit, err := finser.AssembleSpeciesFIT(flow, sp, binIdx, pts)
 		if err != nil {
 			return nil, fmt.Errorf("dist: merge %s: %w", out.name, err)
+		}
+		if adaptive {
+			fit.Conv = conv
 		}
 		*out.dst = fit
 	}

@@ -305,6 +305,76 @@ func TestRunResumesOnlyMissingShards(t *testing.T) {
 	}
 }
 
+// TestAdaptiveRunBitIdentical: an adaptive job distributed across two real
+// workers merges bit-identically to the single-node adaptive run —
+// convergence records included — no matter how the bin range is sharded.
+func TestAdaptiveRunBitIdentical(t *testing.T) {
+	flow := tinyFlow()
+	flow.FITRelErr = 0.1
+	want := singleNode(t, flow)
+	if len(want.Alpha.Conv) != len(want.Alpha.Points) || len(want.Proton.Conv) != len(want.Proton.Points) {
+		t.Fatalf("single-node adaptive run missing conv records: alpha %d/%d, proton %d/%d",
+			len(want.Alpha.Conv), len(want.Alpha.Points), len(want.Proton.Conv), len(want.Proton.Points))
+	}
+	w1, w2 := newWorker(t, nil), newWorker(t, nil)
+	for _, bins := range []int{1, 2, 7} {
+		co := testCoordinator(t, dist.Config{Workers: []string{w1.URL, w2.URL}, ShardBins: bins})
+		got, err := co.Run(context.Background(), flow, nil)
+		if err != nil {
+			t.Fatalf("ShardBins=%d: %v", bins, err)
+		}
+		requireBitIdentical(t, got, want)
+	}
+}
+
+// TestAdaptiveResumeOnlyMissingShards: a checkpointed adaptive job whose
+// proton shards failed resumes only the missing shards — the restored alpha
+// shards pass conv validation and the final merge is still bit-identical.
+func TestAdaptiveResumeOnlyMissingShards(t *testing.T) {
+	base := tinyFlow()
+	base.FITRelErr = 0.1
+	want := singleNode(t, base)
+	ckPath := filepath.Join(t.TempDir(), "dist.ck.json")
+
+	store, err := finser.CreateCheckpoint(ckPath, base, []float64{base.Vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := base
+	flow.Checkpoint = store
+
+	srv := server.New(server.Config{Workers: 2})
+	srv.Start()
+	broken := protonKiller(t, srv.Handler())
+	co1 := testCoordinator(t, dist.Config{
+		Workers:       []string{broken.URL},
+		ShardAttempts: 1,
+		Breaker:       breaker.Config{FailureThreshold: 100, Cooldown: 50 * time.Millisecond},
+	})
+	if _, err := co1.Run(context.Background(), flow, nil); err == nil {
+		t.Fatal("first run should have failed on proton shards")
+	}
+
+	store2, err := finser.ResumeCheckpoint(ckPath, base, []float64{base.Vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow2 := base
+	flow2.Checkpoint = store2
+	healthy := newWorker(t, nil)
+	co2 := testCoordinator(t, dist.Config{Workers: []string{healthy.URL}})
+
+	var ev eventCollector
+	got, err := co2.Run(context.Background(), flow2, ev.emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, got, want)
+	if n := ev.count(dist.EventResumed); n != 2 {
+		t.Errorf("want 2 resumed alpha shards, got %d: %+v", n, ev.events)
+	}
+}
+
 // TestStealFirstResultWins: worker 1 sits on its first shard far past
 // StealAfter; an idle worker 2 duplicate-dispatches it, wins, and the late
 // twin is discarded by fingerprint dedup — with the merged FIT still

@@ -20,6 +20,7 @@ import (
 
 	"finser"
 	"finser/internal/checkpoint"
+	"finser/internal/core"
 )
 
 // Species wire spellings.
@@ -55,13 +56,18 @@ type JobSpec struct {
 	ProcessVariation bool    `json:"process_variation,omitempty"`
 	Samples          int     `json:"samples,omitempty"`
 	ItersPerBin      int     `json:"iters_per_bin,omitempty"`
-	AlphaRate        float64 `json:"alpha_rate,omitempty"`
-	ProtonScale      float64 `json:"proton_scale,omitempty"`
-	AlphaBins        int     `json:"alpha_bins,omitempty"`
-	ProtonBins       int     `json:"proton_bins,omitempty"`
-	Pattern          string  `json:"pattern,omitempty"`
-	Seed             uint64  `json:"seed,omitempty"`
-	Workers          int     `json:"workers"`
+	// FITRelErr selects the adaptive FIT mode; omitempty keeps flat-budget
+	// requests decodable by workers predating the field, while an adaptive
+	// request sent to such a worker fails its strict decode with a typed
+	// *WireError instead of silently running the flat budget.
+	FITRelErr   float64 `json:"fit_rel_err,omitempty"`
+	AlphaRate   float64 `json:"alpha_rate,omitempty"`
+	ProtonScale float64 `json:"proton_scale,omitempty"`
+	AlphaBins   int     `json:"alpha_bins,omitempty"`
+	ProtonBins  int     `json:"proton_bins,omitempty"`
+	Pattern     string  `json:"pattern,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Workers     int     `json:"workers"`
 }
 
 // SpecFromFlow projects a validated finser.FlowConfig onto the wire spec.
@@ -92,6 +98,7 @@ func SpecFromFlow(cfg finser.FlowConfig) (JobSpec, error) {
 		ProcessVariation: cfg.ProcessVariation,
 		Samples:          cfg.Samples,
 		ItersPerBin:      cfg.ItersPerBin,
+		FITRelErr:        cfg.FITRelErr,
 		AlphaRate:        cfg.AlphaRate,
 		ProtonScale:      cfg.ProtonScale,
 		AlphaBins:        cfg.AlphaBins,
@@ -125,6 +132,7 @@ func (s JobSpec) FlowConfig() (finser.FlowConfig, error) {
 		ProcessVariation: s.ProcessVariation,
 		Samples:          s.Samples,
 		ItersPerBin:      s.ItersPerBin,
+		FITRelErr:        s.FITRelErr,
 		AlphaRate:        s.AlphaRate,
 		ProtonScale:      s.ProtonScale,
 		AlphaBins:        s.AlphaBins,
@@ -193,6 +201,12 @@ type ShardResult struct {
 	Fingerprint string            `json:"fingerprint"`
 	Shard       ShardID           `json:"shard"`
 	Points      []finser.POFPoint `json:"points"`
+	// Conv carries the shard's per-bin convergence records, aligned with
+	// Points, when the job runs adaptively (fit_rel_err > 0); absent under
+	// the flat budget. An adaptive result from a worker predating the field
+	// arrives without it and is rejected at decode — version skew degrades
+	// to a typed *WireError, never to a silent flat-budget merge.
+	Conv []finser.BinConv `json:"conv,omitempty"`
 	// Worker identifies the serd that computed the shard (diagnostics only;
 	// not part of the merge).
 	Worker string `json:"worker,omitempty"`
@@ -295,7 +309,35 @@ func DecodeShardResult(data []byte, want *ShardRequest) (*ShardResult, error) {
 	if err := ValidatePoints(res.Points); err != nil {
 		return nil, err
 	}
+	if want != nil {
+		if err := ValidateConv(res.Points, res.Conv, want.Job.FITRelErr > 0); err != nil {
+			return nil, err
+		}
+	}
 	return &res, nil
+}
+
+// ValidateConv checks a shard's convergence records against its points at a
+// trust boundary (wire or checkpoint restore). An adaptive job requires one
+// valid record per point — a result without them came from a worker that
+// does not understand the adaptive mode and silently ran the flat budget,
+// which must never merge. A flat job must not carry any records.
+func ValidateConv(pts []finser.POFPoint, conv []finser.BinConv, adaptive bool) error {
+	if !adaptive {
+		if len(conv) != 0 {
+			return &WireError{Field: "conv", Reason: fmt.Sprintf("%d convergence records on a flat-budget job", len(conv))}
+		}
+		return nil
+	}
+	if len(conv) != len(pts) {
+		return &WireError{Field: "conv", Reason: fmt.Sprintf("%d convergence records for %d points on an adaptive job (worker ran the flat budget?)", len(conv), len(pts))}
+	}
+	for i := range conv {
+		if err := core.CheckBinConv(conv[i], pts[i]); err != nil {
+			return &WireError{Field: fmt.Sprintf("conv[%d]", i), Reason: err.Error()}
+		}
+	}
+	return nil
 }
 
 // ValidatePoints checks shard POF points at a trust boundary (wire or

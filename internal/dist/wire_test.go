@@ -185,3 +185,104 @@ func TestDecodeShardResultRejects(t *testing.T) {
 		}
 	}
 }
+
+// adaptiveShardRequest is tinyShardRequest with the adaptive sampler on.
+func adaptiveShardRequest(t *testing.T) *dist.ShardRequest {
+	t.Helper()
+	flow := tinyFlow()
+	flow.FITRelErr = 0.05
+	spec, err := dist.SpecFromFlow(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := finser.SpeciesSeedSchedule(flow, finser.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := dist.ShardID{Species: dist.SpeciesAlpha, Start: 0, End: 2}
+	fp, err := dist.ShardFingerprint(spec, id, sched[0:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dist.ShardRequest{Job: spec, Shard: id, Seeds: sched[0:2], Fingerprint: fp}
+}
+
+// TestDecodeShardResultConvSkew pins the version-skew contract for the
+// adaptive convergence fields: an adaptive job must never silently accept a
+// flat-budget result (an old worker that dropped the unknown fit_rel_err
+// would produce exactly that), and a flat job must reject stray convergence
+// records — both as typed *WireError, never a quiet merge.
+func TestDecodeShardResultConvSkew(t *testing.T) {
+	req := adaptiveShardRequest(t)
+	goodConv := []finser.BinConv{
+		{RelErr: 0.04, Tol: 0.05, Converged: true, Batches: 4, StrikesSaved: 120},
+		{RelErr: 0.03, Tol: 0.05, Converged: true, Batches: 5, StrikesSaved: 0},
+	}
+	mk := func(f func(*dist.ShardResult)) []byte {
+		res := dist.ShardResult{
+			Fingerprint: req.Fingerprint,
+			Shard:       req.Shard,
+			Points: []finser.POFPoint{
+				{EnergyMeV: 1.0, Tot: 0.5, SEU: 0.4, MBU: 0.1, TotStdErr: 0.01, Strikes: 80, HitFrac: 0.9},
+				{EnergyMeV: 2.0, Tot: 0.25, SEU: 0.2, MBU: 0.05, TotStdErr: 0.02, Strikes: 200, HitFrac: 0.8},
+			},
+			Conv:   append([]finser.BinConv(nil), goodConv...),
+			Worker: "w1",
+		}
+		if f != nil {
+			f(&res)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	if res, err := dist.DecodeShardResult(mk(nil), req); err != nil {
+		t.Fatalf("valid adaptive result rejected: %v", err)
+	} else if len(res.Conv) != 2 {
+		t.Fatalf("decode dropped conv records: %+v", res)
+	}
+
+	rejects := map[string][]byte{
+		"missing conv (flat-budget worker)": mk(func(r *dist.ShardResult) { r.Conv = nil }),
+		"short conv":                        mk(func(r *dist.ShardResult) { r.Conv = r.Conv[:1] }),
+		"invalid conv tol":                  mk(func(r *dist.ShardResult) { r.Conv[0].Tol = 0 }),
+		"conv batches over cap":             mk(func(r *dist.ShardResult) { r.Conv[1].Batches = 1000 }),
+		"conv inconsistent with strikes":    mk(func(r *dist.ShardResult) { r.Conv[0].Batches = 3 }), // 80 % 3 != 0
+	}
+	for name, body := range rejects {
+		_, err := dist.DecodeShardResult(body, req)
+		if err == nil {
+			t.Errorf("%s: decode accepted skewed result", name)
+			continue
+		}
+		var we *dist.WireError
+		if !errors.As(err, &we) {
+			t.Errorf("%s: want *WireError, got %T %v", name, err, err)
+		}
+	}
+
+	// The reverse skew: a flat job must not accept convergence records.
+	flatData, flatReq := validShardResult(t)
+	var res dist.ShardResult
+	if err := json.Unmarshal(flatData, &res); err != nil {
+		t.Fatal(err)
+	}
+	res.Conv = goodConv
+	body, _ := json.Marshal(res)
+	if _, err := dist.DecodeShardResult(body, flatReq); err == nil {
+		t.Error("flat job accepted convergence records")
+	} else if !dist.IsWire(err) {
+		t.Errorf("flat-job conv rejection: want *WireError, got %T %v", err, err)
+	}
+
+	// An old peer (no conv support compiled in) rejects the new field
+	// outright: the strict decoder turns unknown fields into *WireError, so
+	// skew fails loudly on their side too.
+	withUnknown := []byte(strings.Replace(string(flatData), `"fingerprint"`, `"conv_v2":[],"fingerprint"`, 1))
+	if _, err := dist.DecodeShardResult(withUnknown, flatReq); err == nil || !dist.IsWire(err) {
+		t.Errorf("unknown-field result: want *WireError, got %v", err)
+	}
+}

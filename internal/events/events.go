@@ -102,6 +102,17 @@ type Event struct {
 	// Resumed marks a bin restored from a checkpoint rather than computed
 	// in this run.
 	Resumed bool `json:"resumed,omitempty"`
+	// Adaptive-FIT convergence fields (only set when the job runs with
+	// fit_rel_err > 0): RelErr is the bin's achieved stderr/mean, Tol its
+	// weight-scaled target, Converged whether it stopped inside tolerance
+	// (vs hitting the per-bin cap), Batches how many fixed-size batches it
+	// consumed, and StrikesSaved the flat budget minus the particles spent
+	// (negative when the bin overran chasing tolerance).
+	RelErr       float64 `json:"rel_err,omitempty"`
+	Tol          float64 `json:"tol,omitempty"`
+	Converged    bool    `json:"converged,omitempty"`
+	Batches      int     `json:"batches,omitempty"`
+	StrikesSaved int     `json:"strikes_saved,omitempty"`
 
 	// Violation events.
 	Invariant string  `json:"invariant,omitempty"`

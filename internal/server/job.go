@@ -56,6 +56,11 @@ type JobRequest struct {
 	// Checkpointed jobs resume bit-identically only under the same
 	// effective value, so heavy users pin it explicitly.
 	Workers int `json:"workers,omitempty"`
+	// FitRelErr enables adaptive FIT sampling: each energy bin stops once
+	// its POF confidence interval is inside this relative tolerance (0
+	// keeps the flat per-bin budget). Must be in (0, 0.5] when set;
+	// result-determining, so it is part of the job fingerprint.
+	FitRelErr float64 `json:"fit_rel_err,omitempty"`
 	// TimeoutSeconds overrides the server's per-job deadline (0 keeps
 	// the server default).
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -121,6 +126,7 @@ func (r JobRequest) flowConfig() (finser.FlowConfig, error) {
 		Pattern:          pat,
 		Seed:             r.Seed,
 		Workers:          r.Workers,
+		FITRelErr:        r.FitRelErr,
 	}, nil
 }
 

@@ -1203,11 +1203,19 @@ func (s *Server) runJob(j *job) {
 // injected test runners run under the instrumented config.
 func (s *Server) instrumentFlow(j *job) {
 	j.cfg.BinDone = func(be finser.BinEvent) {
-		s.publish(j, events.Event{
+		ev := events.Event{
 			Type: events.TypeBin, Stage: be.Stage, Bin: be.Bin, Bins: be.Bins,
 			EnergyMeV: be.Point.EnergyMeV, POF: be.Point.Tot, POFStdErr: be.Point.TotStdErr,
 			FITSoFar: be.FITSoFar, Resumed: be.Resumed,
-		})
+		}
+		if be.Adaptive {
+			ev.RelErr = be.Conv.RelErr
+			ev.Tol = be.Conv.Tol
+			ev.Converged = be.Conv.Converged
+			ev.Batches = be.Conv.Batches
+			ev.StrikesSaved = be.Conv.StrikesSaved
+		}
+		s.publish(j, ev)
 	}
 	j.cfg.GuardEvent = func(v finser.GuardViolation) {
 		s.publish(j, events.Event{

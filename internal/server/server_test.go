@@ -233,6 +233,8 @@ func TestValidationErrorsMapTo400(t *testing.T) {
 		{"negative samples", `{"vdd": 0.7, "samples": -1}`, "Samples"},
 		{"unknown pattern", `{"vdd": 0.7, "pattern": "stripes"}`, "pattern"},
 		{"negative timeout", `{"vdd": 0.7, "timeout_seconds": -3}`, "timeout_seconds"},
+		{"fit_rel_err too large", `{"vdd": 0.7, "fit_rel_err": 0.6}`, "FITRelErr"},
+		{"fit_rel_err negative", `{"vdd": 0.7, "fit_rel_err": -0.05}`, "FITRelErr"},
 		{"unknown field", `{"vdd": 0.7, "voltage": 1}`, "voltage"},
 		{"syntax", `{"vdd": `, "body"},
 	}

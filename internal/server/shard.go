@@ -147,7 +147,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp, _ := dist.Species(req.Shard.Species)
-	pts, err := finser.SpeciesShardPOFCtx(ctx, cfg, char, sp, req.Shard.Start, req.Shard.End)
+	pts, conv, err := finser.SpeciesShardPOFConvCtx(ctx, cfg, char, sp, req.Shard.Start, req.Shard.End)
 	if err != nil {
 		s.shardError(w, req, err)
 		return
@@ -157,6 +157,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: req.Fingerprint,
 		Shard:       req.Shard,
 		Points:      pts,
+		Conv:        conv,
 		Worker:      r.Host,
 	}
 	w.Header().Set("Content-Type", "application/json")

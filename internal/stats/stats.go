@@ -51,6 +51,23 @@ func (w *Welford) StdErr() float64 {
 	return w.StdDev() / math.Sqrt(float64(w.n))
 }
 
+// WelfordFromMoments reconstructs an accumulator from externally computed
+// moments: n observations with sample mean and m2 = Σ(x−mean)², i.e.
+// unbiased variance × (n−1). It is the inverse of (N, Mean, Variance) and
+// lets a batch summary — e.g. a POF point's (strikes, mean, stderr) — merge
+// into a streaming estimator without replaying the raw observations.
+// Non-positive n yields the zero accumulator; a (numerically) negative m2
+// is clamped to 0.
+func WelfordFromMoments(n int64, mean, m2 float64) Welford {
+	if n <= 0 {
+		return Welford{}
+	}
+	if m2 < 0 {
+		m2 = 0
+	}
+	return Welford{n: n, mean: mean, m2: m2}
+}
+
 // Merge combines another accumulator into w (parallel reduction).
 func (w *Welford) Merge(o Welford) {
 	if o.n == 0 {

@@ -184,6 +184,123 @@ func TestResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestAdaptiveResumeDeterminism is the adaptive-mode version of
+// TestResumeDeterminism: a confidence-driven run interrupted mid-FIT and
+// resumed from its checkpoint must reproduce the uninterrupted adaptive
+// result bit-identically, convergence records included.
+func TestAdaptiveResumeDeterminism(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.FITRelErr = 0.1
+	vdds := []float64{cfg.Vdd}
+	path := t.TempDir() + "/run.ck.json"
+
+	base, err := RunVddSweep(cfg, vdds)
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+
+	// Interrupt inside the FIT stage. Every adaptive bin consumes at least
+	// one batch (ItersPerBin/10 = 150 particles), so across the 6 bins the
+	// run is guaranteed to reach particle 850 — and the saturated first
+	// alpha bin converges (and is checkpointed) well before it.
+	store, err := CreateCheckpoint(path, cfg, vdds)
+	if err != nil {
+		t.Fatalf("CreateCheckpoint: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hooks := NewFaultHooks()
+	hooks.CallAt(FaultSiteParticle, 850, cancel)
+	c2 := cfg
+	c2.Checkpoint = store
+	c2.Faults = hooks
+	if _, err := RunVddSweepCtx(ctx, c2, vdds); err == nil {
+		t.Fatal("interrupted adaptive sweep returned nil error")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep error does not wrap context.Canceled: %v", err)
+	}
+
+	store2, err := ResumeCheckpoint(path, cfg, vdds)
+	if err != nil {
+		t.Fatalf("ResumeCheckpoint: %v", err)
+	}
+	if len(store2.Stages()) == 0 {
+		t.Fatal("checkpoint holds no completed stages; interruption landed before any bin finished")
+	}
+	c3 := cfg
+	c3.Checkpoint = store2
+	resumed, err := RunVddSweep(c3, vdds)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	for i := range base {
+		assertFITEqual(t, "alpha", base[i].Alpha, resumed[i].Alpha)
+		assertFITEqual(t, "proton", base[i].Proton, resumed[i].Proton)
+		assertConvEqual(t, "alpha", base[i].Alpha.Conv, resumed[i].Alpha.Conv)
+		assertConvEqual(t, "proton", base[i].Proton.Conv, resumed[i].Proton.Conv)
+	}
+
+	// Tolerance is part of the fingerprint: the checkpoint must not be
+	// resumable under a different (or flat) tolerance.
+	flat := cfg
+	flat.FITRelErr = 0
+	if _, err := ResumeCheckpoint(path, flat, vdds); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("flat resume over adaptive checkpoint: err = %v, want ErrCheckpointMismatch", err)
+	}
+	tighter := cfg
+	tighter.FITRelErr = 0.05
+	if _, err := ResumeCheckpoint(path, tighter, vdds); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("different-tolerance resume: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// assertConvEqual requires bit-identical per-bin convergence records.
+func assertConvEqual(t *testing.T, label string, a, b []BinConv) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s conv count diverged: %d vs %d", label, len(a), len(b))
+		return
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s bin %d conv diverged:\n baseline %+v\n resumed  %+v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestAdaptiveMatchesFlatReference is the accuracy half of the adaptive
+// speedup claim: at a 2%% tolerance the adaptive estimate must land within
+// the flat-budget reference's confidence interval (same seed, same bins).
+func TestAdaptiveMatchesFlatReference(t *testing.T) {
+	cfg := resilienceFlowConfig()
+	cfg.Vdd = 0.8
+	flat, err := RunFlow(cfg)
+	if err != nil {
+		t.Fatalf("flat reference: %v", err)
+	}
+	cfg.FITRelErr = 0.02
+	ad, err := RunFlow(cfg)
+	if err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	check := func(label string, f, a FITResult) {
+		if len(a.Conv) != len(a.Points) {
+			t.Fatalf("%s: %d conv records for %d bins", label, len(a.Conv), len(a.Points))
+		}
+		diff := a.TotalFIT - f.TotalFIT
+		if diff < 0 {
+			diff = -diff
+		}
+		// 4σ combined band: failures here mean bias, not bad luck.
+		band := 4 * (a.TotalFITErr + f.TotalFITErr)
+		if diff > band {
+			t.Errorf("%s: adaptive %g vs flat %g differ beyond noise (band %g)", label, a.TotalFIT, f.TotalFIT, band)
+		}
+	}
+	check("alpha", flat.Alpha, ad.Alpha)
+	check("proton", flat.Proton, ad.Proton)
+}
+
 // assertFITEqual requires bit-identical FIT results (exact float equality —
 // the resume path must replay the identical arithmetic, not approximate it).
 func assertFITEqual(t *testing.T, label string, a, b FITResult) {
@@ -303,6 +420,8 @@ func TestConfigErrorsTyped(t *testing.T) {
 		{"AlphaBins", FlowConfig{Vdd: 0.8, AlphaBins: -1}},
 		{"ProtonBins", FlowConfig{Vdd: 0.8, ProtonBins: -1}},
 		{"Pattern", FlowConfig{Vdd: 0.8, Pattern: DataPattern(42)}},
+		{"FITRelErr", FlowConfig{Vdd: 0.8, FITRelErr: 0.6}},
+		{"FITRelErr", FlowConfig{Vdd: 0.8, FITRelErr: -0.1}},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
@@ -384,6 +503,7 @@ func TestResumeCheckpointRejectsConfigChange(t *testing.T) {
 		{"seed", func() FlowConfig { c := cfg; c.Seed++; return c }(), vdds},
 		{"iters", func() FlowConfig { c := cfg; c.ItersPerBin *= 2; return c }(), vdds},
 		{"workers", func() FlowConfig { c := cfg; c.Workers = cfg.Workers + 1; return c }(), vdds},
+		{"fit tolerance", func() FlowConfig { c := cfg; c.FITRelErr = 0.1; return c }(), vdds},
 		{"vdd list", cfg, []float64{0.7, 0.8}},
 	}
 	for _, m := range mutations {
